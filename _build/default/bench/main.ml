@@ -1,0 +1,156 @@
+(* Benchmark harness for the King–Saia reproduction.
+
+   Modes:
+   - no arguments / [--quick]: regenerate every experiment table of
+     EXPERIMENTS.md (T1–T10) by running the full protocol stack, the
+     baselines and the substrate measurements.
+   - [--table tN]: regenerate a single table.
+   - [--bechamel]: wall-clock micro-benchmarks, one [Test.make] per table
+     (the dominating kernel of each experiment). *)
+
+module Experiments = Ks_workload.Experiments
+module Attacks = Ks_workload.Attacks
+module Inputs = Ks_workload.Inputs
+module Params = Ks_core.Params
+module Prng = Ks_stdx.Prng
+
+let scaling_pts = lazy (Experiments.collect_scaling ~ns:[ 64; 128; 256 ] ~seeds:[ 1 ])
+
+let run_table = function
+  | "t1" -> ignore (Experiments.t1_bits (Lazy.force scaling_pts))
+  | "t2" -> ignore (Experiments.t2_latency (Lazy.force scaling_pts))
+  | "t3" -> ignore (Experiments.t3_ae_agreement ())
+  | "t4" -> ignore (Experiments.t4_aeba_coins ())
+  | "t5" -> ignore (Experiments.t5_election ())
+  | "t6" -> ignore (Experiments.t6_a2e ())
+  | "t7" -> ignore (Experiments.t7_hiding ())
+  | "t8" -> ignore (Experiments.t8_samplers ())
+  | "t9" -> ignore (Experiments.t9_threshold ())
+  | "t10" -> ignore (Experiments.t10_crossover (Lazy.force scaling_pts))
+  | "t11" -> ignore (Experiments.t11_ablation ())
+  | "t12" -> ignore (Experiments.t12_universe ())
+  | "t13" -> ignore (Experiments.t13_kssv ())
+  | "t14" -> ignore (Experiments.t14_parameters ())
+  | "t15" -> ignore (Experiments.t15_async ())
+  | other -> Printf.eprintf "unknown table %S (expected t1..t15)\n" other
+
+(* --- Bechamel micro-benchmarks: one kernel per table. --- *)
+
+let everywhere_kernel ~n ~scenario ~seed () =
+  let params = Params.practical n in
+  let rng = Prng.create seed in
+  let inputs = Inputs.generate rng ~n Inputs.Split in
+  let tree = Ks_topology.Tree.build (Prng.split rng) (Params.tree_config params) in
+  let budget = Attacks.budget_of scenario ~params in
+  Ks_core.Everywhere.run ~params ~seed ~inputs ~behavior:scenario.Attacks.behavior
+    ~tree_strategy:(Attacks.tree_strategy scenario ~params ~tree)
+    ~a2e_strategy:(fun ~carried ~coin ->
+      Attacks.a2e_strategy scenario ~params ~coin ~carried)
+    ~budget ()
+
+let ae_ba_kernel ~n ~seed () =
+  let params = Params.practical n in
+  let rng = Prng.create seed in
+  let inputs = Inputs.generate rng ~n Inputs.Split in
+  let tree = Ks_topology.Tree.build (Prng.split rng) (Params.tree_config params) in
+  let scenario = Attacks.byzantine_static in
+  Ks_core.Ae_ba.run ~params ~seed ~inputs ~behavior:scenario.Attacks.behavior
+    ~strategy:(Attacks.tree_strategy scenario ~params ~tree)
+    ~budget:(Attacks.budget_of scenario ~params) ()
+
+let aeba_coin_kernel ~n ~seed () =
+  let params = Params.practical n in
+  let rng = Prng.create seed in
+  let inputs = Inputs.generate rng ~n Inputs.Split in
+  Ks_core.Aeba_coin.run_standalone ~seed ~n ~degree:params.Params.aeba_degree
+    ~rounds:8 ~epsilon:params.Params.epsilon ~budget:(n / 4) ~inputs
+    ~strategy:(Attacks.vote_flipper Attacks.byzantine_static ~params)
+    ~coin:Ks_core.Aeba_coin.Ideal ()
+
+let a2e_kernel ~n ~seed () =
+  let params = Params.practical n in
+  let config = Ks_core.Ae_to_e.config_of_params params in
+  let net =
+    Ks_sim.Net.create ~seed ~n ~budget:0
+      ~msg_bits:Ks_core.Ae_to_e.msg_bits
+      ~strategy:Ks_sim.Adversary.none
+  in
+  Ks_core.Ae_to_e.run ~net ~config
+    ~knows:(fun _ -> Some 1)
+    ~coin:(fun ~iteration _ -> Some (iteration mod config.Ks_core.Ae_to_e.labels))
+
+let shamir_kernel ~seed () =
+  let module Sh = Ks_shamir.Shamir.Make (Ks_field.Zp) in
+  let rng = Prng.create seed in
+  let shares = Sh.deal rng ~threshold:5 ~holders:16 (Ks_field.Zp.of_int 123) in
+  shares.(3) <- { shares.(3) with Sh.value = Ks_field.Zp.of_int 1 };
+  Sh.reconstruct_robust ~threshold:5 (Array.to_list shares)
+
+let bechamel_tests =
+  let open Bechamel in
+  [
+    Test.make ~name:"t1/t10: everywhere BA, n=32, 25% byz"
+      (Staged.stage (everywhere_kernel ~n:32 ~scenario:Attacks.byzantine_static ~seed:1L));
+    Test.make ~name:"t2: rabin all-to-all, n=256"
+      (Staged.stage (fun () ->
+           Ks_baselines.Rabin.run ~seed:1L ~n:256 ~budget:64 ~rounds:16 ~epsilon:0.08
+             ~inputs:(Array.init 256 (fun i -> i mod 2 = 0))
+             ~strategy:Ks_sim.Adversary.crash_random));
+    Test.make ~name:"t3: almost-everywhere BA, n=32"
+      (Staged.stage (ae_ba_kernel ~n:32 ~seed:2L));
+    Test.make ~name:"t4: algorithm 5, n=256, 8 rounds"
+      (Staged.stage (aeba_coin_kernel ~n:256 ~seed:3L));
+    Test.make ~name:"t5: feige election, r=256"
+      (Staged.stage (fun () ->
+           let rng = Prng.create 4L in
+           let bins = Array.init 256 (fun _ -> Prng.int rng 32) in
+           Ks_core.Election.winner_indices ~num_bins:32 ~target:8 bins));
+    Test.make ~name:"t6: almost-everywhere-to-everywhere, n=256"
+      (Staged.stage (a2e_kernel ~n:256 ~seed:5L));
+    Test.make ~name:"t7: shamir robust reconstruct (16,6)+err"
+      (Staged.stage (shamir_kernel ~seed:6L));
+    Test.make ~name:"t8: sampler build r=s=1024 d=16"
+      (Staged.stage (fun () ->
+           Ks_sampler.Sampler.create (Prng.create 7L) ~r:1024 ~s:1024 ~d:16));
+    Test.make ~name:"t9: everywhere BA at the threshold, n=32, 33%"
+      (Staged.stage (fun () ->
+           everywhere_kernel ~n:32 ~scenario:Attacks.byzantine_static ~seed:8L ()));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 5.0) ~kde:None () in
+  let analysis = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |] in
+  Printf.printf "\n== Bechamel micro-benchmarks (one kernel per table) ==\n";
+  Printf.printf "%-50s %16s\n" "kernel" "time/run";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg Instance.[ monotonic_clock ] elt in
+          let ols = Analyze.one analysis Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) ->
+            let human =
+              if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+              else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+              else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+              else Printf.sprintf "%.0f ns" t
+            in
+            Printf.printf "%-50s %16s\n%!" (Test.Elt.name elt) human
+          | Some [] | None ->
+            Printf.printf "%-50s %16s\n%!" (Test.Elt.name elt) "n/a")
+        (Test.elements test))
+    bechamel_tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: "--bechamel" :: _ -> run_bechamel ()
+  | _ :: "--table" :: name :: _ -> run_table name
+  | _ :: "--quick" :: _ -> Experiments.run_all ~quick:true ()
+  | [ _ ] -> Experiments.run_all ()
+  | _ ->
+    prerr_endline "usage: main.exe [--quick | --table tN | --bechamel]";
+    exit 2

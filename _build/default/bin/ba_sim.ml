@@ -1,0 +1,226 @@
+(* ba_sim — command-line driver for the King–Saia reproduction.
+
+   Run one protocol at a chosen size, adversary and seed, and print the
+   outcome and communication costs:
+
+     ba_sim run --protocol everywhere -n 128 --adversary byz-static --seed 7
+     ba_sim run --protocol rabin -n 256 --adversary crash
+     ba_sim inspect -n 1024            # show parameters, tree and layout
+*)
+
+module Params = Ks_core.Params
+module Attacks = Ks_workload.Attacks
+module Inputs = Ks_workload.Inputs
+module Prng = Ks_stdx.Prng
+open Cmdliner
+
+let scenario_of_name name =
+  match List.find_opt (fun s -> s.Attacks.label = name) Attacks.all with
+  | Some s -> Ok s
+  | None ->
+    Error
+      (Printf.sprintf "unknown adversary %S (one of: %s)" name
+         (String.concat ", " (List.map (fun s -> s.Attacks.label) Attacks.all)))
+
+let inputs_of_name rng ~n = function
+  | "split" -> Ok (Inputs.generate rng ~n Inputs.Split)
+  | "random" -> Ok (Inputs.generate rng ~n Inputs.Random)
+  | "zeros" -> Ok (Inputs.generate rng ~n Inputs.All_zero)
+  | "ones" -> Ok (Inputs.generate rng ~n Inputs.All_one)
+  | other -> Error (Printf.sprintf "unknown inputs %S (split|random|zeros|ones)" other)
+
+let run_everywhere ~params ~scenario ~seed ~inputs =
+  let n = params.Params.n in
+  let budget = Attacks.budget_of scenario ~params in
+  let tree = Ks_topology.Tree.build (Prng.create seed) (Params.tree_config params) in
+  let r =
+    Ks_core.Everywhere.run ~params ~seed ~inputs
+      ~behavior:scenario.Attacks.behavior
+      ~tree_strategy:(Attacks.tree_strategy scenario ~params ~tree)
+      ~a2e_strategy:(fun ~carried ~coin ->
+        Attacks.a2e_strategy scenario ~params ~coin ~carried)
+      ~budget ()
+  in
+  Printf.printf "everywhere BA: n=%d adversary=%s budget=%d\n" n scenario.Attacks.label
+    budget;
+  Printf.printf "  success=%b safe=%b value=%s\n" r.Ks_core.Everywhere.success
+    r.Ks_core.Everywhere.safe
+    (match r.Ks_core.Everywhere.agreed_value with
+     | Some v -> string_of_int v
+     | None -> "-");
+  Printf.printf "  a.e. agreement=%.1f%% (tournament), rounds ae=%d a2e=%d\n"
+    (100.0 *. r.Ks_core.Everywhere.ae.Ks_core.Ae_ba.agreement)
+    r.Ks_core.Everywhere.ae_rounds r.Ks_core.Everywhere.a2e_rounds;
+  Printf.printf "  max bits/proc: tournament=%d amplify=%d total=%d\n"
+    r.Ks_core.Everywhere.max_sent_bits_ae r.Ks_core.Everywhere.max_sent_bits_a2e
+    r.Ks_core.Everywhere.max_sent_bits_total;
+  if r.Ks_core.Everywhere.success then `Ok () else `Error (false, "agreement failed")
+
+let run_ae ~params ~scenario ~seed ~inputs =
+  let tree = Ks_topology.Tree.build (Prng.create seed) (Params.tree_config params) in
+  let r =
+    Ks_core.Ae_ba.run ~params ~seed ~inputs ~behavior:scenario.Attacks.behavior
+      ~strategy:(Attacks.tree_strategy scenario ~params ~tree)
+      ~budget:(Attacks.budget_of scenario ~params) ()
+  in
+  Printf.printf "almost-everywhere BA: agreement=%.1f%% majority=%b valid=%b\n"
+    (100.0 *. r.Ks_core.Ae_ba.agreement)
+    r.Ks_core.Ae_ba.majority r.Ks_core.Ae_ba.valid;
+  List.iter
+    (fun (e : Ks_core.Ae_ba.election_stats) ->
+      Printf.printf "  election l%d/n%d: %d cands -> %d winners (good %.0f%%)\n"
+        e.level e.node (Array.length e.candidates) (Array.length e.winners)
+        (100.0 *. e.good_winner_fraction))
+    r.Ks_core.Ae_ba.elections;
+  `Ok ()
+
+let run_baseline name ~params ~scenario ~seed ~inputs =
+  let n = params.Params.n in
+  let budget = Attacks.budget_of scenario ~params in
+  let lg = Ks_stdx.Intmath.ceil_log2 n in
+  let o =
+    match name with
+    | `Rabin ->
+      Ks_baselines.Rabin.run ~seed ~n ~budget ~rounds:((2 * lg) + 6)
+        ~epsilon:params.Params.epsilon ~inputs
+        ~strategy:(Attacks.vote_flipper scenario ~params)
+    | `Phase_king ->
+      let faults = Stdlib.min budget (Stdlib.max 1 ((n / 4) - 1)) in
+      Ks_baselines.Phase_king.run ~seed ~n ~budget:faults ~faults ~inputs
+        ~strategy:(Attacks.generic_strategy scenario ~params)
+    | `Ben_or ->
+      Ks_baselines.Ben_or.run ~seed ~n ~budget:(Stdlib.min budget (n / 6))
+        ~max_phases:(4 * lg) ~inputs
+        ~strategy:(Attacks.generic_strategy scenario ~params)
+  in
+  Printf.printf "baseline: agreement=%b validity=%b rounds=%d max bits/proc=%d\n"
+    o.Ks_baselines.Outcome.agreement o.Ks_baselines.Outcome.validity
+    o.Ks_baselines.Outcome.rounds o.Ks_baselines.Outcome.max_sent_bits;
+  if o.Ks_baselines.Outcome.agreement then `Ok () else `Error (false, "disagreement")
+
+let setup_logging verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end
+
+let run_async ~n ~scenario ~seed ~inputs =
+  let f = Stdlib.min ((n - 2) / 3) (Stdlib.max 0 (n / 4)) in
+  let byz =
+    match scenario.Attacks.behavior with
+    | Ks_core.Comm.Silent -> Ks_async.Async_ba.Silent
+    | Ks_core.Comm.Follow | Ks_core.Comm.Garbage | Ks_core.Comm.Flip ->
+      Ks_async.Async_ba.Equivocate
+  in
+  let f = if scenario.Attacks.label = "honest" then 0 else f in
+  let o =
+    Ks_async.Async_ba.run ~seed ~n ~f ~inputs ~byz
+      ~scheduler:Ks_async.Async_net.Fair ~max_events:8_000_000 ()
+  in
+  Printf.printf
+    "async BA (MMR'14, coin oracle): n=%d f=%d
+    \  agreement=%b validity=%b rounds=%d deliveries=%d max bits/proc=%d
+"
+    n f o.Ks_async.Async_ba.agreement o.Ks_async.Async_ba.validity
+    o.Ks_async.Async_ba.max_rounds o.Ks_async.Async_ba.events
+    o.Ks_async.Async_ba.max_sent_bits;
+  if o.Ks_async.Async_ba.agreement then `Ok () else `Error (false, "disagreement")
+
+let run_cmd verbose protocol n adversary seed inputs =
+  setup_logging verbose;
+  match scenario_of_name adversary with
+  | Error e -> `Error (false, e)
+  | Ok scenario ->
+    let params = Params.practical n in
+    let rng = Prng.create (Int64.of_int seed) in
+    (match inputs_of_name rng ~n inputs with
+     | Error e -> `Error (false, e)
+     | Ok input_bits ->
+       let seed = Int64.of_int seed in
+       (match protocol with
+        | "everywhere" -> run_everywhere ~params ~scenario ~seed ~inputs:input_bits
+        | "ae" -> run_ae ~params ~scenario ~seed ~inputs:input_bits
+        | "rabin" -> run_baseline `Rabin ~params ~scenario ~seed ~inputs:input_bits
+        | "phase-king" ->
+          run_baseline `Phase_king ~params ~scenario ~seed ~inputs:input_bits
+        | "ben-or" -> run_baseline `Ben_or ~params ~scenario ~seed ~inputs:input_bits
+        | "async" -> run_async ~n ~scenario ~seed ~inputs:input_bits
+        | other ->
+          `Error
+            ( false,
+              Printf.sprintf
+                "unknown protocol %S (everywhere|ae|rabin|phase-king|ben-or|async)" other )))
+
+let inspect_cmd n theoretical =
+  let params = if theoretical then Params.theoretical n else Params.practical n in
+  Format.printf "parameters: %a@." Params.pp params;
+  if not theoretical then begin
+    let tree = Ks_topology.Tree.build (Prng.create 1L) (Params.tree_config params) in
+    Printf.printf "tree: %d levels\n" (Ks_topology.Tree.levels tree);
+    for level = 1 to Ks_topology.Tree.levels tree do
+      Printf.printf "  level %d: %d nodes x %d members\n" level
+        (Ks_topology.Tree.node_count tree ~level)
+        (Ks_topology.Tree.node_size tree ~level)
+    done;
+    let layout = Ks_core.Ae_ba.Layout.make params tree in
+    Printf.printf "candidate array: %d words " layout.Ks_core.Ae_ba.Layout.total;
+    Printf.printf "(election blocks + root coin + amplification coin)\n";
+    Printf.printf "corruption budget: %d (%.1f%% of n)\n"
+      (Params.corruption_budget params)
+      (100.0 *. float_of_int (Params.corruption_budget params) /. float_of_int n)
+  end;
+  `Ok ()
+
+let n_arg =
+  Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Number of processors.")
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt string "everywhere"
+    & info [ "p"; "protocol" ] ~docv:"PROTO"
+        ~doc:"Protocol: everywhere, ae, rabin, phase-king, ben-or or async.")
+
+let adversary_arg =
+  Arg.(
+    value
+    & opt string "byz-static"
+    & info [ "a"; "adversary" ] ~docv:"ADV"
+        ~doc:"Adversary: honest, crash, byz-static, byz-adaptive, eclipse or flood.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let inputs_arg =
+  Arg.(
+    value
+    & opt string "split"
+    & info [ "inputs" ] ~doc:"Input assignment: split, random, zeros or ones.")
+
+let theoretical_arg =
+  Arg.(value & flag & info [ "theoretical" ] ~doc:"Show the paper-faithful profile.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log protocol phases to stderr.")
+
+let run_term =
+  Term.(
+    ret
+      (const run_cmd $ verbose_arg $ protocol_arg $ n_arg $ adversary_arg $ seed_arg
+     $ inputs_arg))
+
+let inspect_term = Term.(ret (const inspect_cmd $ n_arg $ theoretical_arg))
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Run a protocol once and print the outcome.") run_term;
+    Cmd.v
+      (Cmd.info "inspect" ~doc:"Print the derived parameters, tree shape and layout.")
+      inspect_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "ba_sim" ~version:"1.0.0"
+      ~doc:"Scalable Byzantine agreement (King-Saia PODC'10) simulator"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/async_agreement.ml: Array Ks_async Ks_stdx List Printf

@@ -1,0 +1,1 @@
+examples/election_walkthrough.ml: Array Ks_core Ks_sim Ks_stdx Ks_topology Ks_workload List Printf Stdlib String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Int64 Ks_core Ks_stdx Ks_topology Ks_workload Printf

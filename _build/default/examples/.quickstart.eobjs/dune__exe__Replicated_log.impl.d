@@ -1,0 +1,1 @@
+examples/replicated_log.ml: Array Int64 Ks_baselines Ks_core Ks_sim Ks_stdx Ks_topology Ks_workload List Printf

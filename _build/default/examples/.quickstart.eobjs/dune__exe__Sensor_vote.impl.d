@@ -1,0 +1,1 @@
+examples/sensor_vote.ml: Array Int64 Ks_core Ks_stdx Ks_workload List Printf

@@ -1,0 +1,37 @@
+(* Asynchronous agreement — the paper's §6 open problem, hands on.
+
+     dune exec examples/async_agreement.exe
+
+   No rounds, no clocks: an adversary schedules every single message
+   delivery and may starve chosen processors for as long as it likes
+   (delivery only has to be eventual).  A third of the processors
+   equivocate.  The MMR'14 binary agreement keeps everyone safe because
+   its only requirement from the environment is a common coin — which is
+   exactly the product of the King-Saia tournament; wiring that coin
+   through an asynchronous tree remains the open part. *)
+
+module Aba = Ks_async.Async_ba
+module Anet = Ks_async.Async_net
+module Prng = Ks_stdx.Prng
+
+let n = 64
+let f = (n - 2) / 3
+
+let show label scheduler =
+  let inputs = Array.init n (fun i -> i mod 2 = 0) in
+  let o =
+    Aba.run ~seed:2026L ~n ~f ~inputs ~byz:Aba.Equivocate ~scheduler
+      ~max_events:4_000_000 ()
+  in
+  Printf.printf "%-22s agreement=%b valid=%b rounds=%d deliveries=%d bits/proc=%d\n"
+    label o.Aba.agreement o.Aba.validity o.Aba.max_rounds o.Aba.events
+    o.Aba.max_sent_bits
+
+let () =
+  Printf.printf
+    "async binary agreement: %d processors, %d equivocating, split inputs\n\n" n f;
+  show "fair scheduler" Anet.Fair;
+  show "starve 8 processors" (Anet.Delay_targets (List.init 8 (fun i -> i)));
+  Printf.printf
+    "\nThe hostile scheduler can only slow the starved processors down —\n\
+     more rounds and deliveries — never split the decision or forge one.\n"

@@ -1,0 +1,61 @@
+(* Quickstart: run everywhere Byzantine agreement among 64 processors,
+   a quarter of them Byzantine, and inspect the result.
+
+     dune exec examples/quickstart.exe
+
+   This is the smallest end-to-end use of the public API: pick a
+   parameter profile, choose an adversary scenario, run Algorithm 4, and
+   read out agreement, validity and communication cost. *)
+
+module Params = Ks_core.Params
+module Everywhere = Ks_core.Everywhere
+module Attacks = Ks_workload.Attacks
+module Inputs = Ks_workload.Inputs
+module Prng = Ks_stdx.Prng
+
+let () =
+  let n = 64 in
+  let seed = 2026L in
+
+  (* 1. A parameter profile: the practical profile keeps the paper's
+     structure with laptop-scale constants. *)
+  let params = Params.practical n in
+  Format.printf "parameters: %a@." Params.pp params;
+
+  (* 2. Inputs and an adversary.  The model lets the adversary choose the
+     inputs, so the alternating split is the canonical hard case. *)
+  let inputs = Inputs.generate (Prng.create seed) ~n Inputs.Split in
+  let scenario = Attacks.byzantine_static in
+  let budget = Attacks.budget_of scenario ~params in
+  Printf.printf "adversary: %s, corrupting up to %d of %d processors\n"
+    scenario.Attacks.label budget n;
+
+  (* 3. Run the full protocol: the almost-everywhere tournament followed
+     by the everywhere amplification. *)
+  let tree =
+    Ks_topology.Tree.build (Prng.create (Int64.add seed 1L)) (Params.tree_config params)
+  in
+  let result =
+    Everywhere.run ~params ~seed ~inputs ~behavior:scenario.Attacks.behavior
+      ~tree_strategy:(Attacks.tree_strategy scenario ~params ~tree)
+      ~a2e_strategy:(fun ~carried ~coin ->
+        Attacks.a2e_strategy scenario ~params ~coin ~carried)
+      ~budget ()
+  in
+
+  (* 4. Inspect the outcome. *)
+  Printf.printf "\n--- outcome ---\n";
+  Printf.printf "agreement everywhere : %b\n" result.Everywhere.success;
+  Printf.printf "safety (nobody wrong): %b\n" result.Everywhere.safe;
+  (match result.Everywhere.agreed_value with
+   | Some v -> Printf.printf "agreed value         : %d\n" v
+   | None -> Printf.printf "agreed value         : (none)\n");
+  Printf.printf "a.e. agreement       : %.1f%% of good processors\n"
+    (100.0 *. result.Everywhere.ae.Ks_core.Ae_ba.agreement);
+  Printf.printf "\n--- cost (per good processor, max) ---\n";
+  Printf.printf "tournament phase     : %d bits over %d rounds\n"
+    result.Everywhere.max_sent_bits_ae result.Everywhere.ae_rounds;
+  Printf.printf "amplification phase  : %d bits over %d rounds\n"
+    result.Everywhere.max_sent_bits_a2e result.Everywhere.a2e_rounds;
+  Printf.printf "total                : %d bits\n" result.Everywhere.max_sent_bits_total;
+  if not (result.Everywhere.success && result.Everywhere.safe) then exit 1

@@ -1,0 +1,1 @@
+lib/async/async_ba.ml: Array Async_net Hashtbl Int64 Ks_sim Ks_stdx List Option Stdlib

@@ -1,0 +1,1 @@
+lib/async/async_ba.mli: Async_net

@@ -1,0 +1,1 @@
+lib/async/async_net.ml: Array Ks_sim Ks_stdx List

@@ -1,0 +1,1 @@
+lib/async/async_net.mli: Ks_sim

@@ -1,0 +1,1 @@
+lib/baselines/ben_or.ml: Array Hashtbl Ks_sim Ks_stdx List Option Outcome

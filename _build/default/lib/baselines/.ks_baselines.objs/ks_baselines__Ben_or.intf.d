@@ -1,0 +1,1 @@
+lib/baselines/ben_or.mli: Ks_sim Outcome

@@ -1,0 +1,1 @@
+lib/baselines/kssv_tournament.ml: Array Fun Ks_core Ks_sim Ks_stdx Ks_topology List Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/kssv_tournament.mli: Ks_core

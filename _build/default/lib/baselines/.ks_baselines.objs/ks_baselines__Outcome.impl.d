@@ -1,0 +1,1 @@
+lib/baselines/outcome.ml: Array Ks_sim List

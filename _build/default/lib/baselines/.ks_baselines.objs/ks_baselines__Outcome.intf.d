@@ -1,0 +1,1 @@
+lib/baselines/outcome.mli: Ks_sim

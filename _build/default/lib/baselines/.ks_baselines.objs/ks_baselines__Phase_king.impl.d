@@ -1,0 +1,1 @@
+lib/baselines/phase_king.ml: Array Hashtbl Ks_sim List Option Outcome

@@ -1,0 +1,1 @@
+lib/baselines/phase_king.mli: Ks_sim Outcome

@@ -1,0 +1,1 @@
+lib/baselines/rabin.ml: Array Ks_core Ks_sim Ks_stdx Ks_topology List Outcome

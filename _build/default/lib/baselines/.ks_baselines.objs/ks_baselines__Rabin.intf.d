@@ -1,0 +1,1 @@
+lib/baselines/rabin.mli: Ks_sim Outcome

@@ -1,0 +1,86 @@
+open Ks_sim.Types
+
+type msg = Report of bool | Propose of bool option
+
+type state = {
+  mutable value : bool;
+  mutable decided : bool option;
+  rng : Ks_stdx.Prng.t;
+}
+
+let run ~seed ~n ~budget ~max_phases ~inputs ~strategy =
+  if Array.length inputs <> n then invalid_arg "Ben_or.run: inputs length";
+  let faults = budget in
+  let net =
+    Ks_sim.Net.create ~seed ~n ~budget
+      ~msg_bits:(fun m -> match m with Report _ -> 1 | Propose _ -> 2)
+      ~strategy
+  in
+  let broadcast me payload = List.init n (fun dst -> { src = me; dst; payload }) in
+  let protocol =
+    {
+      Ks_sim.Engine.init =
+        (fun p ->
+          { value = inputs.(p); decided = None; rng = Ks_sim.Net.proc_rng net p });
+      step =
+        (fun ~round ~me st ~inbox ->
+          if round mod 2 = 0 then begin
+            (* Close the previous phase from the proposals, then report. *)
+            if round > 0 then begin
+              let seen = Hashtbl.create 64 in
+              let count_some = Hashtbl.create 4 in
+              List.iter
+                (fun e ->
+                  match e.payload with
+                  | Propose p when not (Hashtbl.mem seen e.src) ->
+                    Hashtbl.add seen e.src ();
+                    (match p with
+                     | Some v ->
+                       Hashtbl.replace count_some v
+                         (1 + Option.value ~default:0 (Hashtbl.find_opt count_some v))
+                     | None -> ())
+                  | Propose _ | Report _ -> ())
+                inbox;
+              let count v = Option.value ~default:0 (Hashtbl.find_opt count_some v) in
+              let majority_threshold = (n / 2) + faults + 1 in
+              let pick =
+                if count true >= count false then Some (true, count true)
+                else Some (false, count false)
+              in
+              (match pick with
+               | Some (v, c) when c >= majority_threshold ->
+                 st.value <- v;
+                 if st.decided = None then st.decided <- Some v
+               | Some (v, c) when c >= faults + 1 -> st.value <- v
+               | Some _ | None -> st.value <- Ks_stdx.Prng.bool st.rng)
+            end;
+            (st, broadcast me (Report st.value))
+          end
+          else begin
+            (* Propose a supermajority value, or ⊥. *)
+            let seen = Hashtbl.create 64 in
+            let ones = ref 0 and total = ref 0 in
+            List.iter
+              (fun e ->
+                match e.payload with
+                | Report v when not (Hashtbl.mem seen e.src) ->
+                  Hashtbl.add seen e.src ();
+                  incr total;
+                  if v then incr ones
+                | Report _ | Propose _ -> ())
+              inbox;
+            let threshold = ((n + faults) / 2) + 1 in
+            let proposal =
+              if !ones >= threshold then Some true
+              else if !total - !ones >= threshold then Some false
+              else None
+            in
+            (st, broadcast me (Propose proposal))
+          end);
+    }
+  in
+  let states = Ks_sim.Engine.run net protocol ~rounds:((2 * max_phases) + 1) in
+  Outcome.of_decisions ~net ~inputs
+    (Array.map
+       (fun st -> match st.decided with Some v -> Some v | None -> Some st.value)
+       states)

@@ -1,0 +1,23 @@
+(** Ben-Or's randomized agreement (PODC 1983) with {e local} coins — the
+    no-setup randomized baseline.
+
+    Two broadcast rounds per phase: report values, then propose a value
+    seen in a supermajority (or ⊥).  A processor decides when a proposal
+    clears n/2 + f support, adopts a proposed value seen at least f + 1
+    times, and otherwise flips its own private coin.  Safe for f < n/5
+    (this simple synchronous variant); expected convergence is fast when
+    good processors lean one way, exponential in the worst split — which
+    is exactly why the paper (and Rabin) wants {e common} coins.
+
+    Per-processor cost: Θ(n) bits per phase. *)
+
+type msg = Report of bool | Propose of bool option
+
+val run :
+  seed:int64 ->
+  n:int ->
+  budget:int ->
+  max_phases:int ->
+  inputs:bool array ->
+  strategy:msg Ks_sim.Types.strategy ->
+  Outcome.t

@@ -1,0 +1,144 @@
+module Prng = Ks_stdx.Prng
+module Tree = Ks_topology.Tree
+module Params = Ks_core.Params
+module Election = Ks_core.Election
+open Ks_sim.Types
+
+type result = {
+  committee : int array;
+  good_fraction : float;
+  corrupted_total : int;
+  max_sent_bits : int;
+  rounds : int;
+}
+
+(* Announcement message: the candidate's public bin choice. *)
+type msg = Announce of { node : int; level : int; bin : int }
+
+let msg_bits (_ : msg) = 16
+
+(* The strongest rushing strategy for corrupt candidates: pile into the
+   currently lightest bin without overtaking the runner-up (cf. T5). *)
+let stuff_bins rng ~num_bins good_bins corrupt_count =
+  let counts = Array.make num_bins 0 in
+  List.iter (fun b -> counts.(b) <- counts.(b) + 1) good_bins;
+  let order = Array.init num_bins (fun b -> b) in
+  Array.sort (fun a b -> compare counts.(a) counts.(b)) order;
+  let lightest = order.(0) in
+  let second = if num_bins > 1 then counts.(order.(1)) else max_int in
+  let room = Stdlib.max 0 (second - counts.(lightest) - 1) in
+  List.init corrupt_count (fun i ->
+      if i < room then lightest else Prng.int rng num_bins)
+
+let run ~seed ~params ~adaptive ~budget =
+  let n = params.Params.n in
+  let root = Prng.create seed in
+  let tree = Tree.build (Prng.split root) (Params.tree_config params) in
+  let adv_rng = Prng.split root in
+  let strategy =
+    if adaptive then Ks_sim.Adversary.none
+    else
+      Ks_sim.Adversary.make ~name:"static"
+        ~initial_corruptions:(fun rng ~n ~budget:b ->
+          Ks_sim.Adversary.uniform_random_set rng ~n ~budget:(Stdlib.min budget b))
+        ()
+  in
+  let net = Ks_sim.Net.create ~seed:(Prng.bits64 root) ~n ~budget ~msg_bits ~strategy in
+  let levels = Tree.levels tree in
+  (* Level-2 candidates: the processor owning each leaf. *)
+  let winners_by_node = ref (Array.init n (fun leaf -> [| leaf |])) in
+  for level = 2 to levels do
+    let node_count = Tree.node_count tree ~level in
+    let cands_at =
+      Array.init node_count (fun j ->
+          Array.concat
+            (List.map (fun ch -> !winners_by_node.(ch)) (Tree.children tree ~level ~node:j)))
+    in
+    (* One announcement round: every good candidate broadcasts a fresh
+       random bin to its election node; corrupt candidates rush. *)
+    let num_bins_of =
+      Array.map
+        (fun cands ->
+          Election.num_bins ~candidates:(Stdlib.max 1 (Array.length cands))
+            ~winners:params.Params.winners)
+        cands_at
+    in
+    let good_bins =
+      Array.mapi
+        (fun j cands ->
+          Array.map
+            (fun c ->
+              if Ks_sim.Net.is_corrupt net c then None
+              else Some (Prng.int (Ks_sim.Net.proc_rng net c) num_bins_of.(j)))
+            cands)
+        cands_at
+    in
+    let msgs = ref [] in
+    Array.iteri
+      (fun j cands ->
+        let members = Tree.members tree ~level ~node:j in
+        Array.iteri
+          (fun ci c ->
+            match good_bins.(j).(ci) with
+            | Some bin ->
+              Array.iter
+                (fun dst ->
+                  msgs := { src = c; dst; payload = Announce { node = j; level; bin } } :: !msgs)
+                members
+            | None -> ())
+          cands)
+      cands_at;
+    ignore (Ks_sim.Net.exchange net !msgs);
+    (* Resolve each node's election; corrupt candidates' bins are chosen
+       after seeing every good bin (rushing). *)
+    let new_winners = Array.make node_count [||] in
+    Array.iteri
+      (fun j cands ->
+        let goods = List.filter_map Fun.id (Array.to_list good_bins.(j)) in
+        let corrupt_count =
+          Array.length cands - List.length goods
+        in
+        let stuffed = stuff_bins adv_rng ~num_bins:num_bins_of.(j) goods corrupt_count in
+        let bins = Array.make (Array.length cands) 0 in
+        let next_stuffed = ref stuffed in
+        Array.iteri
+          (fun ci _ ->
+            match good_bins.(j).(ci) with
+            | Some b -> bins.(ci) <- b
+            | None ->
+              (match !next_stuffed with
+               | b :: rest ->
+                 bins.(ci) <- b;
+                 next_stuffed := rest
+               | [] -> bins.(ci) <- 0))
+          cands;
+        let idx =
+          Election.winner_indices ~num_bins:num_bins_of.(j)
+            ~target:params.Params.winners bins
+        in
+        new_winners.(j) <- Array.map (fun i -> cands.(i)) idx)
+      cands_at;
+    (* The adaptive adversary corrupts the freshly announced winners. *)
+    if adaptive then
+      Array.iter
+        (fun ws -> Ks_sim.Net.corrupt_now net (Array.to_list ws))
+        new_winners;
+    winners_by_node := new_winners
+  done;
+  let committee = Array.concat (Array.to_list !winners_by_node) in
+  let good =
+    Array.fold_left
+      (fun acc p -> if Ks_sim.Net.is_corrupt net p then acc else acc + 1)
+      0 committee
+  in
+  let meter = Ks_sim.Net.meter net in
+  {
+    committee;
+    good_fraction =
+      (if Array.length committee = 0 then 0.0
+       else float_of_int good /. float_of_int (Array.length committee));
+    corrupted_total = Ks_sim.Net.corrupt_count net;
+    max_sent_bits =
+      Ks_sim.Meter.max_sent_bits meter ~over:(Ks_sim.Net.good_procs net);
+    rounds = Ks_sim.Meter.rounds meter;
+  }

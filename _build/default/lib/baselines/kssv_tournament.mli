@@ -1,0 +1,36 @@
+(** A light version of the King–Saia–Sanwalani–Vee tournament (SODA 2006,
+    [17] in the paper) — the {e non-adaptive} predecessor that King–Saia
+    2010 builds on and fixes.
+
+    KSSV elects {e processors}: candidates announce fresh random bin
+    choices in the clear (full-information model), each node keeps the
+    lightest-bin winners, and the root's winners form a representative
+    committee.  Against a {e static} adversary this works — Feige's
+    lemma keeps the committee's good fraction near the population's.
+    Against an {e adaptive} adversary it fails exactly as §1.3 of the
+    2010 paper says: the winners are public, so the adversary corrupts
+    them the moment they are announced, level after level, and arrives
+    at the root owning the committee.
+
+    This module exists to measure that contrast (experiment T13) against
+    the 2010 protocol's array elections (T12).  Fidelity notes: the
+    within-node agreement on announcements is idealised (announcements
+    are broadcast to the node and taken at face value); the corrupt
+    candidates play the strongest rushing bin-stuffing strategy; the
+    adaptive adversary corrupts each level's winners right after the
+    election, budget permitting. *)
+
+type result = {
+  committee : int array;  (** processors elected at the root *)
+  good_fraction : float;  (** fraction of the committee never corrupted *)
+  corrupted_total : int;  (** corruptions the adversary spent *)
+  max_sent_bits : int;  (** max bits sent by a good processor *)
+  rounds : int;
+}
+
+val run :
+  seed:int64 ->
+  params:Ks_core.Params.t ->
+  adaptive:bool ->
+  budget:int ->
+  result

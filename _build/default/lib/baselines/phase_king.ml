@@ -1,0 +1,67 @@
+open Ks_sim.Types
+
+type msg = Value of bool | King_value of bool
+
+type state = { mutable value : bool; mutable mult : int; mutable plurality : bool }
+
+let run ~seed ~n ~budget ~faults ~inputs ~strategy =
+  if Array.length inputs <> n then invalid_arg "Phase_king.run: inputs length";
+  let net = Ks_sim.Net.create ~seed ~n ~budget ~msg_bits:(fun _ -> 1) ~strategy in
+  let phases = faults + 1 in
+  let protocol =
+    {
+      Ks_sim.Engine.init =
+        (fun p -> { value = inputs.(p); mult = 0; plurality = false });
+      step =
+        (fun ~round ~me st ~inbox ->
+          let phase_round = round mod 2 in
+          let phase = round / 2 in
+          let king = phase mod n in
+          if phase_round = 0 then begin
+            (* Finish the previous phase: adopt the king's value when our
+               own plurality was weak. *)
+            if round > 0 then begin
+              let king_value =
+                List.find_map
+                  (fun e ->
+                    match e.payload with
+                    | King_value v when e.src = (((round / 2) - 1) mod n) -> Some v
+                    | King_value _ | Value _ -> None)
+                  inbox
+              in
+              if st.mult <= (n / 2) + faults then
+                st.value <- Option.value ~default:st.value king_value
+              else st.value <- st.plurality
+            end;
+            ( st,
+              if phase >= phases then []
+              else List.init n (fun dst -> { src = me; dst; payload = Value st.value }) )
+          end
+          else begin
+            (* Tally the value broadcasts; the king announces its
+               plurality. *)
+            let seen = Hashtbl.create 64 in
+            let ones = ref 0 and total = ref 0 in
+            List.iter
+              (fun e ->
+                match e.payload with
+                | Value v when not (Hashtbl.mem seen e.src) ->
+                  Hashtbl.add seen e.src ();
+                  incr total;
+                  if v then incr ones
+                | Value _ | King_value _ -> ())
+              inbox;
+            let plurality = 2 * !ones >= !total in
+            let mult = if plurality then !ones else !total - !ones in
+            st.plurality <- plurality;
+            st.mult <- mult;
+            ( st,
+              if me = king then
+                List.init n (fun dst -> { src = me; dst; payload = King_value plurality })
+              else [] )
+          end);
+    }
+  in
+  (* One extra half-phase so the last king round is absorbed. *)
+  let states = Ks_sim.Engine.run net protocol ~rounds:((2 * phases) + 1) in
+  Outcome.of_decisions ~net ~inputs (Array.map (fun st -> Some st.value) states)

@@ -1,0 +1,25 @@
+(** The Phase King protocol (Berman–Garay–Perry) — the classical
+    {e deterministic} O(n²)-messages baseline.
+
+    f + 1 phases of two broadcast rounds each.  In the first round
+    everyone broadcasts its value and computes the plurality; in the
+    second the phase's king broadcasts its plurality, and processors with
+    a weak plurality (multiplicity ≤ n/2 + f) adopt the king's value.
+    Since some phase has a good king, all good processors align in that
+    phase and never diverge after.  Tolerates f < n/4 faults — note the
+    {e worse} resilience than the paper's 1/3 − ε, which the T9 threshold
+    table makes visible.
+
+    Per-processor cost: Θ(n·f) bits.  Latency: 2(f + 1) rounds. *)
+
+type msg = Value of bool | King_value of bool
+
+val run :
+  seed:int64 ->
+  n:int ->
+  budget:int ->
+  faults:int ->
+  (* [faults] is the f the phase count is sized for. *)
+  inputs:bool array ->
+  strategy:msg Ks_sim.Types.strategy ->
+  Outcome.t

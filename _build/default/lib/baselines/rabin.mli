@@ -1,0 +1,23 @@
+(** Rabin's randomized Byzantine agreement (FOCS 1983) — the classical
+    O(n²)-messages-per-round baseline the paper's tournament replaces
+    ([21] in the paper; §1's "quadratic number of messages" quotes).
+
+    Every round each processor broadcasts its vote to {e all} processors
+    (n − 1 messages), adopts the supermajority when one exists, and
+    otherwise follows a common coin.  Rabin's original coin comes from
+    predistributed Shamir-shared values (a trusted dealer); we model it
+    as an ideal common-coin oracle, which only {e strengthens} this
+    baseline — its measured Θ(n) bits per processor per round is the
+    quantity the paper beats.
+
+    Per-processor cost: Θ(n·rounds) bits.  Total: Θ(n²·rounds). *)
+
+val run :
+  seed:int64 ->
+  n:int ->
+  budget:int ->
+  rounds:int ->
+  epsilon:float ->
+  inputs:bool array ->
+  strategy:bool Ks_sim.Types.strategy ->
+  Outcome.t

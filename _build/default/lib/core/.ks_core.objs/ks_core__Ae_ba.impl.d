@@ -1,0 +1,1 @@
+lib/core/ae_ba.ml: Aeba_coin Array Bytes Char Comm Election Hashtbl Ks_field Ks_sim Ks_stdx Ks_topology List Logs Option Params Stdlib

@@ -1,0 +1,1 @@
+lib/core/ae_ba.mli: Comm Ks_sim Ks_topology Params

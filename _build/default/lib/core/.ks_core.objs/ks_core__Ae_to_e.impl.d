@@ -1,0 +1,1 @@
+lib/core/ae_to_e.ml: Array Float Hashtbl Ks_sim Ks_stdx List Option Params Stdlib

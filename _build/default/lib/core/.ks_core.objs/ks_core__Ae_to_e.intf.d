@@ -1,0 +1,1 @@
+lib/core/ae_to_e.mli: Bytes Ks_sim Params

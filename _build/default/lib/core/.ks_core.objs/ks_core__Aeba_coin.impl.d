@@ -1,0 +1,1 @@
+lib/core/aeba_coin.ml: Array Hashtbl Ks_sim Ks_stdx Ks_topology List Stdlib

@@ -1,0 +1,1 @@
+lib/core/aeba_coin.mli: Ks_sim Ks_topology

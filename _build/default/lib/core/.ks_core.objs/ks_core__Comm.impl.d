@@ -1,0 +1,1 @@
+lib/core/comm.ml: Array Bytes Hashtbl Ks_field Ks_shamir Ks_sim Ks_stdx Ks_topology List Option Params

@@ -1,0 +1,1 @@
+lib/core/comm.mli: Bytes Ks_sim Ks_topology Params

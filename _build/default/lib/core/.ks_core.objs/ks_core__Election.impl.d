@@ -1,0 +1,1 @@
+lib/core/election.ml: Array Ks_stdx List Stdlib

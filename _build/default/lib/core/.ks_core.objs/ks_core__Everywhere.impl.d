@@ -1,0 +1,1 @@
+lib/core/everywhere.ml: Ae_ba Ae_to_e Array Bool Comm Ks_sim Ks_stdx List Logs Option Params Stdlib

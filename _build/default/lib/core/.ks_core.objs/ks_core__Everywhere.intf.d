@@ -1,0 +1,1 @@
+lib/core/everywhere.mli: Ae_ba Ae_to_e Comm Ks_sim Params

@@ -1,0 +1,1 @@
+lib/core/params.ml: Float Format Ks_stdx Ks_topology Stdlib

@@ -1,0 +1,1 @@
+lib/core/universe.ml: Ae_ba Array Comm Hashtbl Ks_sim Ks_stdx Option Params

@@ -1,0 +1,1 @@
+lib/core/universe.mli: Ae_ba Comm Ks_sim Params

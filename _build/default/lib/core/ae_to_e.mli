@@ -1,0 +1,74 @@
+(** Almost-everywhere → everywhere agreement — Algorithm 3 (§4).
+
+    After the tree protocol, a (1/2 + ε)-majority of good processors is
+    {e knowledgeable}: they agree on a message [M] and share a source of
+    common random numbers.  The remaining good processors are
+    {e confused}.  Each iteration (one "loop" of the paper, two
+    synchronous rounds here):
+
+    + every processor sends, for each request label [i] of the √n-sized
+      label space, [a·log n] requests labelled [i] to uniformly random
+      processors (the paper's step 1, iterated per Lemma 8's counting);
+    + the knowledgeable processors agree on a fresh random label [k];
+    + a knowledgeable processor answers exactly the requests labelled
+      [k] with [M] — unless more than the overload cap of such requests
+      arrived (the adversary cannot target responders: private channels
+      hide everyone else's labels, and [k] is drawn after the requests
+      are committed);
+    + a requester looks at the label [i_max] that gathered the most
+      replies, and decides [m] if at least [(1/2 + 3ε/8)·a·log n] of the
+      processors it had queried with [i_max] returned the same [m].
+
+    Lemma 7: one iteration makes everyone agree on [M] with probability
+    ≥ 1 − 4/(ε·log n) − 1/n^c, and never makes a good processor decide
+    anything other than [M] (w.h.p.); iterations repeat independently
+    (Lemma 10) until every good processor has decided. *)
+
+type msg = Request of int | Reply of { label : int; value : int }
+
+(** Exact binary codec (tag byte + varints); [msg_bits] is the encoded
+    size in bits. *)
+
+val encode_msg : msg -> Bytes.t
+val decode_msg : Bytes.t -> msg option
+val msg_bits : msg -> int
+
+type config = {
+  labels : int;  (** size of the request-label space (√n in the paper) *)
+  requests_per_label : int;  (** a·log n *)
+  iterations : int;  (** independent repetitions of the loop *)
+  overload_cap : int;  (** √n·log n in the paper *)
+  decision_threshold : int;  (** (1/2 + 3ε/8)·a·log n, rounded up *)
+}
+
+val config_of_params : Params.t -> config
+
+(** [rounds_needed config] — synchronous rounds one [run] consumes. *)
+val rounds_needed : config -> int
+
+type result = {
+  decided : int option array;
+      (** per processor: the value it committed to, [None] if undecided;
+          entries of corrupted processors are meaningless *)
+  iterations_run : int;
+  rounds : int;
+  max_sent_bits : int;  (** over good processors *)
+  overloaded_events : int;
+      (** count of (processor, iteration) pairs where the overload rule
+          suppressed replies — Lemma 9's quantity *)
+}
+
+(** [run ~net ~config ~knows ~coin] — [knows p] is [Some m] when good
+    processor [p] {e believes} message [m] (knowledgeable processors hold
+    the almost-everywhere value, confused ones may hold something else —
+    their minority lies below the decision threshold); [coin ~iteration p]
+    is [p]'s view of the iteration's agreed random label (in [0, labels)),
+    [None] for processors the coin never reached.  Every processor decides
+    through the reply-counting rule; decided processors stop re-deciding
+    but keep serving requests. *)
+val run :
+  net:msg Ks_sim.Net.t ->
+  config:config ->
+  knows:(int -> int option) ->
+  coin:(iteration:int -> int -> int option) ->
+  result

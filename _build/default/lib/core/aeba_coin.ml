@@ -1,0 +1,164 @@
+module Graph = Ks_topology.Graph
+module Prng = Ks_stdx.Prng
+
+type t = {
+  members : int array;
+  pos_of : (int, int) Hashtbl.t;
+  graph : Graph.t;
+  epsilon : float;
+  eps0 : float;
+  votes : bool array;
+}
+
+let create ~members ~graph ~inputs ~epsilon ?(eps0 = 0.05) () =
+  let m = Array.length members in
+  if Graph.n graph <> m then invalid_arg "Aeba_coin.create: graph size mismatch";
+  if Array.length inputs <> m then invalid_arg "Aeba_coin.create: inputs size mismatch";
+  let pos_of = Hashtbl.create (2 * m) in
+  Array.iteri (fun pos p -> Hashtbl.replace pos_of p pos) members;
+  { members; pos_of; graph; epsilon; eps0; votes = Array.copy inputs }
+
+let member_count t = Array.length t.members
+let member t ~pos = t.members.(pos)
+let position_of t p = Hashtbl.find_opt t.pos_of p
+let vote t ~pos = t.votes.(pos)
+let votes t = Array.copy t.votes
+
+let outgoing t =
+  let out = ref [] in
+  for pos = Array.length t.members - 1 downto 0 do
+    let src = t.members.(pos) in
+    let v = t.votes.(pos) in
+    Array.iter
+      (fun npos -> out := (src, t.members.(npos), v) :: !out)
+      (Graph.neighbours t.graph pos)
+  done;
+  !out
+
+(* The vote-update rule of Algorithm 5: adopt the majority when its
+   fraction clears the informed threshold, otherwise follow the coin. *)
+let update_vote ~epsilon ~eps0 ~ones ~total ~coin ~current =
+  if total = 0 then current
+  else begin
+    let maj = 2 * ones >= total in
+    let maj_count = if maj then ones else total - ones in
+    let fraction = float_of_int maj_count /. float_of_int total in
+    let threshold = (1.0 -. eps0) *. ((2.0 /. 3.0) +. (epsilon /. 2.0)) in
+    if fraction >= threshold then maj
+    else match coin with Some c -> c | None -> maj
+  end
+
+let step t ~received ~coin ~good =
+  let m = Array.length t.members in
+  let next = Array.copy t.votes in
+  for pos = 0 to m - 1 do
+    if good t.members.(pos) then begin
+      (* Count at most one vote per graph neighbour (flooding defence:
+         later duplicates and non-neighbours are discarded). *)
+      let seen = Hashtbl.create 16 in
+      let ones = ref 0 and total = ref 0 in
+      List.iter
+        (fun (src, v) ->
+          match Hashtbl.find_opt t.pos_of src with
+          | Some spos
+            when Graph.adjacent t.graph pos spos && not (Hashtbl.mem seen src) ->
+            Hashtbl.add seen src ();
+            incr total;
+            if v then incr ones
+          | Some _ | None -> ())
+        (received pos);
+      next.(pos) <-
+        update_vote ~epsilon:t.epsilon ~eps0:t.eps0 ~ones:!ones ~total:!total
+          ~coin:(coin pos) ~current:t.votes.(pos)
+    end
+  done;
+  Array.blit next 0 t.votes 0 m
+
+let agreement_fraction t ~good =
+  let ones = ref 0 and total = ref 0 in
+  Array.iteri
+    (fun pos p ->
+      if good p then begin
+        incr total;
+        if t.votes.(pos) then incr ones
+      end)
+    t.members;
+  if !total = 0 then 1.0
+  else
+    float_of_int (Stdlib.max !ones (!total - !ones)) /. float_of_int !total
+
+type coin_source = Ideal | Unreliable of float | Adversarial_known
+
+type outcome = {
+  final_votes : bool array;
+  agreement : float;
+  decided : bool option;
+  valid : bool;
+  rounds_run : int;
+  max_sent_bits : int;
+}
+
+let run_standalone ~seed ~n ~degree ~rounds ~epsilon ~budget ~inputs ~strategy
+    ~coin ?(leak = fun ~round:_ _ -> ()) () =
+  if Array.length inputs <> n then invalid_arg "Aeba_coin.run_standalone: inputs";
+  let net =
+    Ks_sim.Net.create ~seed ~n ~budget ~msg_bits:(fun _vote -> 1) ~strategy
+  in
+  let rng = Ks_sim.Net.rng net in
+  let graph = Graph.random_regular rng ~n ~degree:(Stdlib.min degree (n - 1)) in
+  let members = Array.init n (fun i -> i) in
+  let inst = create ~members ~graph ~inputs ~epsilon () in
+  let coin_rng = Prng.split rng in
+  let miss_rng = Prng.split rng in
+  for round = 0 to rounds - 1 do
+    let msgs =
+      List.map
+        (fun (src, dst, v) -> { Ks_sim.Types.src; dst; payload = v })
+        (outgoing inst)
+    in
+    let inboxes = Ks_sim.Net.exchange net msgs in
+    let common = Prng.bool coin_rng in
+    (match coin with
+     | Adversarial_known -> leak ~round common
+     | Ideal | Unreliable _ -> ());
+    let coin_view =
+      match coin with
+      | Ideal | Adversarial_known -> fun _pos -> Some common
+      | Unreliable miss ->
+        (* Draw per-position misses deterministically for the round. *)
+        let missed = Array.init n (fun _ -> Prng.bernoulli miss_rng miss) in
+        fun pos -> if missed.(pos) then None else Some common
+    in
+    let received pos =
+      List.map
+        (fun e -> (e.Ks_sim.Types.src, e.Ks_sim.Types.payload))
+        inboxes.(members.(pos))
+    in
+    step inst ~received ~coin:coin_view ~good:(fun p -> not (Ks_sim.Net.is_corrupt net p))
+  done;
+  let good p = not (Ks_sim.Net.is_corrupt net p) in
+  let agreement = agreement_fraction inst ~good in
+  let good_votes =
+    List.filter_map
+      (fun p -> if good p then Some inst.votes.(p) else None)
+      (List.init n (fun i -> i))
+  in
+  let ones = List.length (List.filter (fun v -> v) good_votes) in
+  let total = List.length good_votes in
+  let majority = 2 * ones >= total in
+  let decided = Some majority in
+  let valid =
+    (* The committed bit must be some good processor's input. *)
+    Array.exists2
+      (fun input p -> good p && input = majority)
+      inputs (Array.init n (fun i -> i))
+  in
+  {
+    final_votes = votes inst;
+    agreement;
+    decided;
+    valid;
+    rounds_run = rounds;
+    max_sent_bits =
+      Ks_sim.Meter.max_sent_bits (Ks_sim.Net.meter net) ~over:(Ks_sim.Net.good_procs net);
+  }

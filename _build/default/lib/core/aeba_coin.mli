@@ -1,0 +1,134 @@
+(** Almost-everywhere Byzantine agreement with unreliable global coins —
+    Algorithm 5 (§A.2) and Theorems 3/5.
+
+    Participants sit on a sparse (k·log n-regular) graph.  Every round,
+    each good participant sends its current vote to its graph neighbours,
+    tallies the received votes, and either adopts the majority (when the
+    majority fraction clears [(1 − ε₀)(2/3 + ε/2)]) or falls back on the
+    round's global coin.  If the coin is common, random and unknown to the
+    adversary in enough rounds, all but O(n / log n) good participants
+    converge on one good input bit, failing with probability ≈ 2^−r in
+    [r] good-coin rounds (Theorem 5).
+
+    The module has two faces:
+
+    - a {e composable core} ({!t}, {!outgoing}, {!step}) driven by an
+      external orchestrator — [Ks_core.Ae_ba] runs many instances in
+      lockstep inside tree nodes, feeding coins opened from elected
+      arrays;
+    - a {e standalone runner} ({!run_standalone}) on its own network,
+      used by the T4 experiment and the tests, with the coin abstracted
+      as a callback (ideal, unreliable or adversarially leaked). *)
+
+type t
+
+(** [create ~members ~graph ~inputs ~epsilon ?eps0 ()] — [members.(pos)]
+    is the global processor at position [pos]; [graph] connects
+    positions; [inputs.(pos)] is the initial vote.  [eps0] is the slack
+    constant ε₀ of the informed-fraction test (default 0.05). *)
+val create :
+  members:int array ->
+  graph:Ks_topology.Graph.t ->
+  inputs:bool array ->
+  epsilon:float ->
+  ?eps0:float ->
+  unit ->
+  t
+
+val member_count : t -> int
+
+(** [member t ~pos] — global processor id at a position. *)
+val member : t -> pos:int -> int
+
+(** [position_of t proc] — position of a processor, if a member. *)
+val position_of : t -> int -> int option
+
+(** [vote t ~pos] — the position's current vote. *)
+val vote : t -> pos:int -> bool
+
+(** [votes t] — snapshot of all current votes (corrupt positions hold
+    their last honest value; the adversary speaks for them on the wire,
+    not in this array). *)
+val votes : t -> bool array
+
+(** [outgoing t] — the vote messages every position would send this
+    round, as [(src_proc, dst_proc, vote)] triples.  The caller wraps
+    them in its own message type; the network layer discards entries for
+    corrupted sources. *)
+val outgoing : t -> (int * int * bool) list
+
+(** [step t ~received ~coin ~good] — apply one round.  [received pos] is
+    the list of [(src_proc, vote)] pairs addressed to that position
+    (already restricted to this instance by the orchestrator; votes from
+    non-neighbours are discarded here — flooding defence).  [coin pos]
+    is the position's view of the round's global coin, [None] when the
+    coin never reached it (it then keeps the majority value regardless of
+    the fraction test).  Only positions with [good] true are updated. *)
+val step :
+  t ->
+  received:(int -> (int * bool) list) ->
+  coin:(int -> bool option) ->
+  good:(int -> bool) ->
+  unit
+
+(** [update_vote ~epsilon ~eps0 ~ones ~total ~coin ~current] — the bare
+    vote-update rule of Algorithm 5 (steps 3–7), shared with the
+    orchestrated elections of [Ks_core.Ae_ba]: adopt the majority of the
+    [total] received votes ([ones] of them for 1) when its fraction
+    clears [(1 − eps0)(2/3 + epsilon/2)], otherwise follow [coin] (or
+    keep the majority when the coin never arrived).  [current] is
+    returned when no votes arrived at all. *)
+val update_vote :
+  epsilon:float ->
+  eps0:float ->
+  ones:int ->
+  total:int ->
+  coin:bool option ->
+  current:bool ->
+  bool
+
+(** [agreement_fraction t ~good] — largest fraction of good positions
+    sharing one vote: the "all but C₂n/log n agree" metric of
+    Theorem 5. *)
+val agreement_fraction : t -> good:(int -> bool) -> float
+
+(** How the standalone runner models GetGlobalCoin. *)
+type coin_source =
+  | Ideal  (** every good participant receives the same fresh fair coin *)
+  | Unreliable of float
+      (** each participant independently misses the common coin with the
+          given probability (receives [None]) *)
+  | Adversarial_known
+      (** the common coin is drawn but published to the adversary one
+          round early (strategy closures can read it via
+          [last_leaked_coin]); models broken secrecy of the arrays *)
+
+(** Result of a standalone run. *)
+type outcome = {
+  final_votes : bool array;
+  agreement : float;  (** agreement fraction among good participants *)
+  decided : bool option;
+      (** the common vote if agreement is total among good, else the
+          majority good vote *)
+  valid : bool;  (** decided value was some good participant's input *)
+  rounds_run : int;
+  max_sent_bits : int;  (** over good participants *)
+}
+
+(** [run_standalone ~seed ~n ~degree ~rounds ~epsilon ~inputs ~strategy
+    ~coin ()] builds a fresh network and graph and plays the algorithm.
+    [leak] receives each round's coin as soon as it is drawn when [coin =
+    Adversarial_known] (the default ignores it). *)
+val run_standalone :
+  seed:int64 ->
+  n:int ->
+  degree:int ->
+  rounds:int ->
+  epsilon:float ->
+  budget:int ->
+  inputs:bool array ->
+  strategy:bool Ks_sim.Types.strategy ->
+  coin:coin_source ->
+  ?leak:(round:int -> bool -> unit) ->
+  unit ->
+  outcome

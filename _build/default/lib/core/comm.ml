@@ -1,0 +1,672 @@
+module Prng = Ks_stdx.Prng
+module Tree = Ks_topology.Tree
+module Zp = Ks_field.Zp
+module Sh = Ks_shamir.Shamir.Make (Ks_field.Zp)
+open Ks_sim.Types
+
+type word = int
+
+type behavior = Follow | Silent | Garbage | Flip
+
+type payload =
+  | Deal of { cand : int; inst : int; words : word array }
+  | Share_up of { cand : int; inst : int; words : word array }
+  | Share_down of {
+      cand : int;
+      level : int;
+      node : int;
+      inst : int;
+      off : int;
+      words : word array;
+    }
+  | Leaf_val of { cand : int; leaf : int; inst : int; off : int; words : word array }
+  | Open_val of { cand : int; leaf : int; off : int; words : word array }
+  | Vote of { level : int; node : int; ba : int; vote : bool }
+  | Votes of { level : int; node : int; packed : Bytes.t }
+
+(* Binary codec: tag byte, varint identifiers, fixed 32-bit words.  The
+   meter charges the exact encoded size, computed arithmetically so that
+   metering allocates nothing; test_comm pins encoded_length to the real
+   encoder output. *)
+
+let varint_len v =
+  let rec go v acc = if v < 0x80 then acc else go (v lsr 7) (acc + 1) in
+  go v 1
+
+let words_len words = varint_len (Array.length words) + (4 * Array.length words)
+
+let encoded_length = function
+  | Deal { cand; inst; words } | Share_up { cand; inst; words } ->
+    1 + varint_len cand + varint_len inst + words_len words
+  | Share_down { cand; level; node; inst; off; words } ->
+    1 + varint_len cand + varint_len level + varint_len node + varint_len inst
+    + varint_len off + words_len words
+  | Leaf_val { cand; leaf; inst; off; words } ->
+    1 + varint_len cand + varint_len leaf + varint_len inst + varint_len off
+    + words_len words
+  | Open_val { cand; leaf; off; words } ->
+    1 + varint_len cand + varint_len leaf + varint_len off + words_len words
+  | Vote { level; node; ba; vote = _ } ->
+    1 + varint_len level + varint_len node + varint_len ba + 1
+  | Votes { level; node; packed } ->
+    1 + varint_len level + varint_len node + varint_len (Bytes.length packed)
+    + Bytes.length packed
+
+module W = Ks_stdx.Wire.Writer
+module R = Ks_stdx.Wire.Reader
+
+let write_words w words =
+  W.varint w (Array.length words);
+  Array.iter (W.u32 w) words
+
+let read_words r =
+  let len = R.varint r in
+  Array.init len (fun _ -> R.u32 r)
+
+let encode_payload payload =
+  let w = W.create () in
+  (match payload with
+   | Deal { cand; inst; words } ->
+     W.byte w 0; W.varint w cand; W.varint w inst; write_words w words
+   | Share_up { cand; inst; words } ->
+     W.byte w 1; W.varint w cand; W.varint w inst; write_words w words
+   | Share_down { cand; level; node; inst; off; words } ->
+     W.byte w 2; W.varint w cand; W.varint w level; W.varint w node;
+     W.varint w inst; W.varint w off; write_words w words
+   | Leaf_val { cand; leaf; inst; off; words } ->
+     W.byte w 3; W.varint w cand; W.varint w leaf; W.varint w inst;
+     W.varint w off; write_words w words
+   | Open_val { cand; leaf; off; words } ->
+     W.byte w 4; W.varint w cand; W.varint w leaf; W.varint w off;
+     write_words w words
+   | Vote { level; node; ba; vote } ->
+     W.byte w 5; W.varint w level; W.varint w node; W.varint w ba; W.bool w vote
+   | Votes { level; node; packed } ->
+     W.byte w 6; W.varint w level; W.varint w node; W.bytes w packed);
+  W.contents w
+
+let decode_payload data =
+  match
+    let r = R.of_bytes data in
+    let payload =
+      match R.byte r with
+      | 0 ->
+        let cand = R.varint r in
+        let inst = R.varint r in
+        Deal { cand; inst; words = read_words r }
+      | 1 ->
+        let cand = R.varint r in
+        let inst = R.varint r in
+        Share_up { cand; inst; words = read_words r }
+      | 2 ->
+        let cand = R.varint r in
+        let level = R.varint r in
+        let node = R.varint r in
+        let inst = R.varint r in
+        let off = R.varint r in
+        Share_down { cand; level; node; inst; off; words = read_words r }
+      | 3 ->
+        let cand = R.varint r in
+        let leaf = R.varint r in
+        let inst = R.varint r in
+        let off = R.varint r in
+        Leaf_val { cand; leaf; inst; off; words = read_words r }
+      | 4 ->
+        let cand = R.varint r in
+        let leaf = R.varint r in
+        let off = R.varint r in
+        Open_val { cand; leaf; off; words = read_words r }
+      | 5 ->
+        let level = R.varint r in
+        let node = R.varint r in
+        let ba = R.varint r in
+        Vote { level; node; ba; vote = R.bool r }
+      | 6 ->
+        let level = R.varint r in
+        let node = R.varint r in
+        Votes { level; node; packed = R.bytes r }
+      | _ -> raise R.Truncated
+    in
+    if R.at_end r then Some payload else None
+  with
+  | result -> result
+  | exception R.Truncated -> None
+
+let payload_bits (p : Params.t) payload =
+  p.Params.header_bits + (8 * encoded_length payload)
+
+module Structure = struct
+  type t = {
+    counts : int array;
+    pos : int array array; (* .(l-1).(inst) = holding position *)
+    par : int array array; (* .(l-1).(inst) = parent instance, -1 at level 1 *)
+    kids : int array array array; (* .(l-1).(inst) = child ids at l+1 *)
+    at_pos : int array array array; (* .(l-1).(position) = instance ids *)
+  }
+
+  let build tree =
+    let levels = Tree.levels tree in
+    let counts = Array.make levels 0 in
+    let pos = Array.make levels [||] in
+    let par = Array.make levels [||] in
+    let kids = Array.make levels [||] in
+    let k1 = Tree.node_size tree ~level:1 in
+    counts.(0) <- k1;
+    pos.(0) <- Array.init k1 (fun i -> i);
+    par.(0) <- Array.make k1 (-1);
+    for l = 1 to levels - 1 do
+      (* Instances at level l+1: one per (instance at l, uplink slot). *)
+      let c = counts.(l - 1) in
+      let next_pos = ref [] and next_par = ref [] in
+      let next_count = ref 0 in
+      let kid_arrays =
+        Array.init c (fun i ->
+            let ups = Tree.uplinks tree ~level:l ~member:pos.(l - 1).(i) in
+            let ids =
+              Array.map
+                (fun pp ->
+                  let id = !next_count in
+                  incr next_count;
+                  next_pos := pp :: !next_pos;
+                  next_par := i :: !next_par;
+                  id)
+                ups
+            in
+            ids)
+      in
+      kids.(l - 1) <- kid_arrays;
+      counts.(l) <- !next_count;
+      pos.(l) <- Array.of_list (List.rev !next_pos);
+      par.(l) <- Array.of_list (List.rev !next_par)
+    done;
+    kids.(levels - 1) <- Array.make counts.(levels - 1) [||];
+    let at_pos =
+      Array.init levels (fun li ->
+          let size = Tree.node_size tree ~level:(li + 1) in
+          let buckets = Array.make size [] in
+          Array.iteri (fun i p -> buckets.(p) <- i :: buckets.(p)) pos.(li);
+          Array.map (fun l -> Array.of_list (List.rev l)) buckets)
+    in
+    { counts; pos; par; kids; at_pos }
+
+  let count t ~level = t.counts.(level - 1)
+  let pos t ~level ~inst = t.pos.(level - 1).(inst)
+  let parent t ~level ~inst = t.par.(level - 1).(inst)
+  let children t ~level ~inst = t.kids.(level - 1).(inst)
+  let at_position t ~level ~pos = t.at_pos.(level - 1).(pos)
+end
+
+type cand_state = {
+  mutable live_level : int; (* 0 = not dealt, -1 = dropped *)
+  mutable held : word array option array;
+}
+
+type t = {
+  params : Params.t;
+  tree : Tree.t;
+  net : payload Ks_sim.Net.t;
+  structure : Structure.t;
+  behavior : behavior;
+  pending : payload envelope list ref;
+  cands : cand_state array;
+  vec_len : int array;
+  garbage_rng : Prng.t;
+}
+
+let create ~params ~tree ~seed ~behavior ~strategy ?budget () =
+  let pending = ref [] in
+  let wrapped =
+    {
+      strategy with
+      act =
+        (fun view ->
+          let staged = !pending in
+          pending := [];
+          strategy.act view @ staged);
+    }
+  in
+  let net =
+    Ks_sim.Net.create ~seed ~n:params.Params.n
+      ~budget:(Option.value ~default:(Params.corruption_budget params) budget)
+      ~msg_bits:(payload_bits params) ~strategy:wrapped
+  in
+  {
+    params;
+    tree;
+    net;
+    structure = Structure.build tree;
+    behavior;
+    pending;
+    cands =
+      Array.init params.Params.n (fun _ -> { live_level = 0; held = [||] });
+    vec_len = Array.make params.Params.n 0;
+    garbage_rng = Prng.split (Ks_sim.Net.rng net);
+  }
+
+let net t = t.net
+let tree t = t.tree
+let structure t = t.structure
+let params t = t.params
+
+let queue_adversarial t msgs = t.pending := msgs @ !(t.pending)
+
+let exchange t msgs = Ks_sim.Net.exchange t.net msgs
+
+let level_of t ~cand =
+  let l = t.cands.(cand).live_level in
+  if l <= 0 then None else Some l
+
+let held_value t ~cand ~inst =
+  let st = t.cands.(cand) in
+  if inst < Array.length st.held then st.held.(inst) else None
+
+let node_of t ~cand ~level = Tree.leaf_ancestor t.tree ~leaf:cand ~level
+
+let is_corrupt t p = Ks_sim.Net.is_corrupt t.net p
+
+(* What a corrupted holder puts on the wire in place of [words]. *)
+let corrupt_words t words =
+  match t.behavior with
+  | Follow -> Some (Array.copy words)
+  | Silent -> None
+  | Garbage -> Some (Array.map (fun _ -> Zp.random t.garbage_rng) words)
+  | Flip -> Some (Array.map (fun w -> Zp.add w Zp.one) words)
+
+(* Route a message: direct for good senders, via the adversary queue for
+   corrupted ones (with the behavior policy applied to the payload). *)
+let route t ~src ~dst ~(payload_of : word array -> payload) words good_acc =
+  if is_corrupt t src then begin
+    match corrupt_words t words with
+    | None -> good_acc
+    | Some w ->
+      queue_adversarial t [ { src; dst; payload = payload_of w } ];
+      good_acc
+  end
+  else { src; dst; payload = payload_of (Array.copy words) } :: good_acc
+
+let word_majority vectors =
+  match vectors with
+  | [] -> None
+  | first :: _ ->
+    let len = Array.length first in
+    let vectors = List.filter (fun v -> Array.length v = len) vectors in
+    let out = Array.make len 0 in
+    for w = 0 to len - 1 do
+      let counts = Hashtbl.create 8 in
+      List.iter
+        (fun v ->
+          let c = Option.value ~default:0 (Hashtbl.find_opt counts v.(w)) in
+          Hashtbl.replace counts v.(w) (c + 1))
+        vectors;
+      let best = ref None in
+      Hashtbl.iter
+        (fun value c ->
+          match !best with
+          | None -> best := Some (value, c)
+          | Some (bv, bc) ->
+            if c > bc || (c = bc && value < bv) then best := Some (value, c))
+        counts;
+      match !best with Some (v, _) -> out.(w) <- v | None -> ()
+    done;
+    Some out
+
+let deal_all t ~arrays =
+  let n = t.params.Params.n in
+  if Array.length arrays <> n then invalid_arg "Comm.deal_all: need one array per processor";
+  let k1 = Tree.node_size t.tree ~level:1 in
+  let t1 = Params.share_threshold t.params ~holders:k1 in
+  let msgs = ref [] in
+  for c = 0 to n - 1 do
+    t.vec_len.(c) <- Array.length arrays.(c);
+    let leaf_members = Tree.members t.tree ~level:1 ~node:c in
+    let per_holder =
+      Sh.deal_vector (Ks_sim.Net.proc_rng t.net c) ~threshold:t1 ~holders:k1
+        arrays.(c)
+    in
+    for h = 0 to k1 - 1 do
+      let words = Array.map (fun s -> s.Sh.value) per_holder.(h) in
+      msgs :=
+        route t ~src:c ~dst:leaf_members.(h)
+          ~payload_of:(fun words -> Deal { cand = c; inst = h; words })
+          words !msgs
+    done
+  done;
+  let inboxes = exchange t !msgs in
+  Array.iter
+    (fun st ->
+      st.live_level <- 1;
+      st.held <- Array.make k1 None)
+    t.cands;
+  Array.iteri
+    (fun p inbox ->
+      List.iter
+        (fun e ->
+          match e.payload with
+          | Deal { cand; inst; words }
+            when cand >= 0 && cand < n && inst >= 0 && inst < k1
+                 && e.src = cand
+                 && Array.length words = t.vec_len.(cand)
+                 && (Tree.members t.tree ~level:1 ~node:cand).(inst) = p
+                 && t.cands.(cand).held.(inst) = None ->
+            t.cands.(cand).held.(inst) <- Some words
+          | _ -> ())
+        inbox)
+    inboxes
+
+let reshare_up t ~cands ~drop =
+  match cands with
+  | [] -> List.iter (fun c -> t.cands.(c).live_level <- -1; t.cands.(c).held <- [||]) drop
+  | first :: _ ->
+    let lvl = t.cands.(first).live_level in
+    List.iter
+      (fun c ->
+        if t.cands.(c).live_level <> lvl then
+          invalid_arg "Comm.reshare_up: candidates at different levels")
+      cands;
+    if lvl < 1 then invalid_arg "Comm.reshare_up: candidate not live";
+    let next = lvl + 1 in
+    if next > Tree.levels t.tree then invalid_arg "Comm.reshare_up: already at root";
+    let cand_set = Hashtbl.create 64 in
+    List.iter (fun c -> Hashtbl.replace cand_set c ()) cands;
+    let count_cur = Structure.count t.structure ~level:lvl in
+    let count_next = Structure.count t.structure ~level:next in
+    let msgs = ref [] in
+    List.iter
+      (fun c ->
+        let st = t.cands.(c) in
+        let cur_members = Tree.members t.tree ~level:lvl ~node:(node_of t ~cand:c ~level:lvl) in
+        let parent_members =
+          Tree.members t.tree ~level:next ~node:(node_of t ~cand:c ~level:next)
+        in
+        for inst = 0 to count_cur - 1 do
+          match st.held.(inst) with
+          | None -> ()
+          | Some v ->
+            let p = Structure.pos t.structure ~level:lvl ~inst in
+            let holder = cur_members.(p) in
+            let xs = Tree.uplinks t.tree ~level:lvl ~member:p in
+            let children = Structure.children t.structure ~level:lvl ~inst in
+            let th = Params.share_threshold t.params ~holders:(Array.length xs) in
+            let per_holder =
+              Sh.deal_vector_at (Ks_sim.Net.proc_rng t.net holder) ~threshold:th ~xs v
+            in
+            Array.iteri
+              (fun j words ->
+                let inst' = children.(j) in
+                msgs :=
+                  route t ~src:holder ~dst:parent_members.(xs.(j))
+                    ~payload_of:(fun words -> Share_up { cand = c; inst = inst'; words })
+                    words !msgs)
+              per_holder
+        done)
+      cands;
+    let inboxes = exchange t !msgs in
+    let fresh = Hashtbl.create 64 in
+    List.iter (fun c -> Hashtbl.replace fresh c (Array.make count_next None)) cands;
+    Array.iteri
+      (fun p inbox ->
+        List.iter
+          (fun e ->
+            match e.payload with
+            | Share_up { cand; inst; words }
+              when Hashtbl.mem cand_set cand && inst >= 0 && inst < count_next
+                   && Array.length words = t.vec_len.(cand) ->
+              let held = Hashtbl.find fresh cand in
+              if held.(inst) = None then begin
+                let ppos = Structure.pos t.structure ~level:next ~inst in
+                let parent_inst = Structure.parent t.structure ~level:next ~inst in
+                let cur_node = node_of t ~cand ~level:lvl in
+                let parent_node = node_of t ~cand ~level:next in
+                let expected_dst =
+                  (Tree.members t.tree ~level:next ~node:parent_node).(ppos)
+                in
+                let expected_src =
+                  (Tree.members t.tree ~level:lvl ~node:cur_node).(Structure.pos
+                                                                     t.structure
+                                                                     ~level:lvl
+                                                                     ~inst:parent_inst)
+                in
+                if expected_dst = p && expected_src = e.src then held.(inst) <- Some words
+              end
+            | _ -> ())
+          inbox)
+      inboxes;
+    List.iter
+      (fun c ->
+        let st = t.cands.(c) in
+        st.live_level <- next;
+        st.held <- Hashtbl.find fresh c)
+      cands;
+    List.iter
+      (fun c ->
+        t.cands.(c).live_level <- -1;
+        t.cands.(c).held <- [||])
+      drop
+
+let open_ranges_view t ~level ~ranges =
+  if level < 2 then invalid_arg "Comm.open_ranges_view: level must be >= 2";
+  let range_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (c, off, len) ->
+      if t.cands.(c).live_level <> level then
+        invalid_arg "Comm.open_ranges_view: candidate not live at this level";
+      if off < 0 || len < 1 || off + len > t.vec_len.(c) then
+        invalid_arg "Comm.open_ranges_view: bad range";
+      Hashtbl.replace range_tbl c (off, len))
+    ranges;
+  (* Live values at the election level, restricted to the ranges. *)
+  let cur = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun c (off, len) ->
+      let st = t.cands.(c) in
+      let node = node_of t ~cand:c ~level in
+      Array.iteri
+        (fun inst v ->
+          match v with
+          | Some v -> Hashtbl.replace cur (c, node, inst) (Array.sub v off len)
+          | None -> ())
+        st.held)
+    range_tbl;
+  (* sendDown: walk the shares to the leaves, reconstructing one depth per
+     round. *)
+  let cur = ref cur in
+  for l = level downto 2 do
+    let msgs = ref [] in
+    Hashtbl.iter
+      (fun (c, node, inst) words ->
+        let spos = Structure.pos t.structure ~level:l ~inst in
+        let sender = (Tree.members t.tree ~level:l ~node).(spos) in
+        let pinst = Structure.parent t.structure ~level:l ~inst in
+        let dpos = Structure.pos t.structure ~level:(l - 1) ~inst:pinst in
+        let off, _ = Hashtbl.find range_tbl c in
+        List.iter
+          (fun ch ->
+            let dst = (Tree.members t.tree ~level:(l - 1) ~node:ch).(dpos) in
+            msgs :=
+              route t ~src:sender ~dst
+                ~payload_of:(fun words ->
+                  Share_down { cand = c; level = l; node = ch; inst; off; words })
+                words !msgs)
+          (Tree.children t.tree ~level:l ~node))
+      !cur;
+    let inboxes = exchange t !msgs in
+    (* Collect pieces per (cand, child node, parent instance). *)
+    let pieces = Hashtbl.create 1024 in
+    Array.iteri
+      (fun p inbox ->
+        List.iter
+          (fun e ->
+            match e.payload with
+            | Share_down { cand; level = ml; node = ch; inst; off; words }
+              when ml = l && Hashtbl.mem range_tbl cand ->
+              let eoff, elen = Hashtbl.find range_tbl cand in
+              if
+                off = eoff
+                && Array.length words = elen
+                && inst >= 0
+                && inst < Structure.count t.structure ~level:l
+                && ch >= 0
+                && ch < Tree.node_count t.tree ~level:(l - 1)
+              then begin
+                let pinst = Structure.parent t.structure ~level:l ~inst in
+                let dpos = Structure.pos t.structure ~level:(l - 1) ~inst:pinst in
+                let dst_ok =
+                  (Tree.members t.tree ~level:(l - 1) ~node:ch).(dpos) = p
+                in
+                let pnode = Tree.parent t.tree ~level:(l - 1) ~node:ch in
+                let src_ok =
+                  (Tree.members t.tree ~level:l ~node:pnode).(Structure.pos
+                                                                t.structure ~level:l
+                                                                ~inst) = e.src
+                in
+                if dst_ok && src_ok then begin
+                  let key = (cand, ch, pinst) in
+                  let x = Structure.pos t.structure ~level:l ~inst in
+                  let existing =
+                    Option.value ~default:[] (Hashtbl.find_opt pieces key)
+                  in
+                  if not (List.mem_assoc x existing) then
+                    Hashtbl.replace pieces key ((x, words) :: existing)
+                end
+              end
+            | _ -> ())
+          inbox)
+      inboxes;
+    let next = Hashtbl.create 1024 in
+    Hashtbl.iter
+      (fun ((c, ch, pinst) as _key) holder_pieces ->
+        let dpos = Structure.pos t.structure ~level:(l - 1) ~inst:pinst in
+        let holders = Tree.uplinks t.tree ~level:(l - 1) ~member:dpos in
+        let th = Params.share_threshold t.params ~holders:(Array.length holders) in
+        match Sh.reconstruct_vectors ~threshold:th holder_pieces with
+        | Some v -> Hashtbl.replace next (c, ch, pinst) v
+        | None -> ())
+      pieces;
+    cur := next
+  done;
+  (* Leaf exchange: members of every level-1 node swap their reconstructed
+     1-shares and recover the secrets. *)
+  let k1 = Tree.node_size t.tree ~level:1 in
+  let t1 = Params.share_threshold t.params ~holders:k1 in
+  let msgs = ref [] in
+  Hashtbl.iter
+    (fun (c, leaf, inst) words ->
+      let members = Tree.members t.tree ~level:1 ~node:leaf in
+      let sender = members.(inst) in
+      let off, _ = Hashtbl.find range_tbl c in
+      for mp = 0 to k1 - 1 do
+        if mp <> inst then
+          msgs :=
+            route t ~src:sender ~dst:members.(mp)
+              ~payload_of:(fun words -> Leaf_val { cand = c; leaf; inst; off; words })
+              words !msgs
+      done)
+    !cur;
+  let inboxes = exchange t !msgs in
+  let pieces = Hashtbl.create 1024 in
+  (* Own shares count without a message. *)
+  Hashtbl.iter
+    (fun (c, leaf, inst) words ->
+      Hashtbl.replace pieces (c, leaf, inst) [ (inst, words) ])
+    !cur;
+  Array.iteri
+    (fun p inbox ->
+      List.iter
+        (fun e ->
+          match e.payload with
+          | Leaf_val { cand; leaf; inst; off; words }
+            when Hashtbl.mem range_tbl cand && inst >= 0 && inst < k1
+                 && leaf >= 0 && leaf < Tree.node_count t.tree ~level:1 ->
+            let eoff, elen = Hashtbl.find range_tbl cand in
+            if off = eoff && Array.length words = elen then begin
+              let members = Tree.members t.tree ~level:1 ~node:leaf in
+              if members.(inst) = e.src then begin
+                match Tree.position_of t.tree ~level:1 ~node:leaf p with
+                | Some mp ->
+                  let key = (cand, leaf, mp) in
+                  let existing =
+                    Option.value ~default:[] (Hashtbl.find_opt pieces key)
+                  in
+                  if not (List.mem_assoc inst existing) then
+                    Hashtbl.replace pieces key ((inst, words) :: existing)
+                | None -> ()
+              end
+            end
+          | _ -> ())
+        inbox)
+    inboxes;
+  let secrets = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun key holder_pieces ->
+      match Sh.reconstruct_vectors ~threshold:t1 holder_pieces with
+      | Some v -> Hashtbl.replace secrets key v
+      | None -> ())
+    pieces;
+  (* sendOpen: leaf members report straight up the ℓ-links; election-node
+     members take a majority inside each leaf's reports, then across
+     leaves. *)
+  let msgs = ref [] in
+  Hashtbl.iter
+    (fun (c, leaf, mp) words ->
+      let enode = node_of t ~cand:c ~level in
+      let sender = (Tree.members t.tree ~level:1 ~node:leaf).(mp) in
+      let targets = Tree.ell_sources t.tree ~level ~node:enode ~leaf in
+      let emembers = Tree.members t.tree ~level ~node:enode in
+      let off, _ = Hashtbl.find range_tbl c in
+      Array.iter
+        (fun em ->
+          msgs :=
+            route t ~src:sender ~dst:emembers.(em)
+              ~payload_of:(fun words -> Open_val { cand = c; leaf; off; words })
+              words !msgs)
+        targets)
+    secrets;
+  let inboxes = exchange t !msgs in
+  (* reports : (cand, election member position, leaf) -> word vectors *)
+  let reports = Hashtbl.create 4096 in
+  Array.iteri
+    (fun p inbox ->
+      List.iter
+        (fun e ->
+          match e.payload with
+          | Open_val { cand; leaf; off; words }
+            when Hashtbl.mem range_tbl cand && leaf >= 0
+                 && leaf < Tree.node_count t.tree ~level:1 ->
+            let eoff, elen = Hashtbl.find range_tbl cand in
+            if off = eoff && Array.length words = elen then begin
+              let enode = node_of t ~cand ~level in
+              match Tree.position_of t.tree ~level ~node:enode p with
+              | Some em
+                when Array.exists (fun l -> l = leaf)
+                       (Tree.ell_links t.tree ~level ~node:enode ~member:em)
+                     && Tree.position_of t.tree ~level:1 ~node:leaf e.src <> None ->
+                let key = (cand, em, leaf) in
+                let existing =
+                  Option.value ~default:[] (Hashtbl.find_opt reports key)
+                in
+                Hashtbl.replace reports key (words :: existing)
+              | Some _ | None -> ()
+            end
+          | _ -> ())
+        inbox)
+    inboxes;
+  (* Per-leaf majority, then per-member majority across leaves. *)
+  let leaf_values = Hashtbl.create 4096 in
+  Hashtbl.iter
+    (fun (cand, em, leaf) vectors ->
+      match word_majority vectors with
+      | Some v ->
+        let key = (cand, em) in
+        let existing = Option.value ~default:[] (Hashtbl.find_opt leaf_values key) in
+        ignore leaf;
+        Hashtbl.replace leaf_values key (v :: existing)
+      | None -> ())
+    reports;
+  let views = Hashtbl.create 4096 in
+  Hashtbl.iter
+    (fun key vectors ->
+      match word_majority vectors with
+      | Some v -> Hashtbl.replace views key v
+      | None -> ())
+    leaf_values;
+  fun ~cand ~member -> Hashtbl.find_opt views (cand, member)

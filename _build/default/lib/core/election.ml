@@ -1,0 +1,52 @@
+let num_bins ~candidates ~winners =
+  if candidates < 1 then invalid_arg "Election.num_bins: no candidates";
+  if winners < 1 then invalid_arg "Election.num_bins: no winners";
+  Ks_stdx.Intmath.clamp ~lo:2 ~hi:(Stdlib.max 2 candidates) (candidates / winners)
+
+let bin_of_word ~num_bins word =
+  if num_bins < 1 then invalid_arg "Election.bin_of_word: num_bins < 1";
+  ((word mod num_bins) + num_bins) mod num_bins
+
+let counts ~num_bins bins =
+  let c = Array.make num_bins 0 in
+  Array.iter (fun b -> let b = bin_of_word ~num_bins b in c.(b) <- c.(b) + 1) bins;
+  c
+
+let lightest_bin ~num_bins bins =
+  let c = counts ~num_bins bins in
+  let best = ref 0 in
+  for b = 1 to num_bins - 1 do
+    if c.(b) < c.(!best) then best := b
+  done;
+  !best
+
+let winner_indices ~num_bins ~target bins =
+  let r = Array.length bins in
+  if r = 0 then [||]
+  else begin
+    let target = Stdlib.min target r in
+    let light = lightest_bin ~num_bins bins in
+    let w = ref [] in
+    for j = r - 1 downto 0 do
+      if bin_of_word ~num_bins bins.(j) = light then w := j :: !w
+    done;
+    let w = !w in
+    let missing = target - List.length w in
+    if missing <= 0 then Array.of_list w
+    else begin
+      (* Pad with the first indices that would otherwise be omitted. *)
+      let chosen = Array.make r false in
+      List.iter (fun j -> chosen.(j) <- true) w;
+      let pad = ref [] in
+      let still = ref missing in
+      let j = ref 0 in
+      while !still > 0 && !j < r do
+        if not chosen.(!j) then begin
+          pad := !j :: !pad;
+          decr still
+        end;
+        incr j
+      done;
+      Array.of_list (List.sort compare (w @ !pad))
+    end
+  end

@@ -1,0 +1,34 @@
+(** Feige's lightest-bin election (Algorithm 1, Lemma 4), as pure logic.
+
+    An election takes the (already agreed-upon) bin choices of [r]
+    candidate arrays and selects the candidates that picked the lightest
+    bin, padding with the lowest omitted indices up to the target size.
+    Feige's theorem: if the good candidates' choices are uniform and
+    independent — even when the adversary picks the remaining bins after
+    seeing them (rushing) — the winner set is representative: the good
+    fraction drops by at most ≈ 1/log n, w.h.p.
+
+    Agreement on the bin choices themselves is the orchestrator's job
+    (it runs one {!Aeba_coin} instance per candidate); this module only
+    computes bins and winners. *)
+
+(** [num_bins ~candidates ~winners] — the bin count making the expected
+    lightest bin size equal the target winner count (the paper's
+    r / (5c·log³n), with the polylog folded into [winners]).  At least 2,
+    at most [candidates]. *)
+val num_bins : candidates:int -> winners:int -> int
+
+(** [bin_of_word ~num_bins word] — reduce an opened random word to a bin
+    choice. *)
+val bin_of_word : num_bins:int -> int -> int
+
+(** [lightest_bin ~num_bins bins] — the bin index with fewest selectors
+    (ties to the lowest index).  [bins.(j)] is candidate [j]'s choice;
+    out-of-range choices (a corrupt dealer's malformed word) count as bin
+    [choice mod num_bins]. *)
+val lightest_bin : num_bins:int -> int array -> int
+
+(** [winner_indices ~num_bins ~target bins] — candidates that chose the
+    lightest bin, in index order, padded with the lowest-index omitted
+    candidates to exactly [min target (Array.length bins)] entries. *)
+val winner_indices : num_bins:int -> target:int -> int array -> int array

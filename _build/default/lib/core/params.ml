@@ -1,0 +1,126 @@
+module Intmath = Ks_stdx.Intmath
+
+type share_threshold_policy = Half_minus_one | Third
+
+type t = {
+  n : int;
+  epsilon : float;
+  q : int;
+  k1 : int;
+  growth : int;
+  up_degree : int;
+  ell_degree : int;
+  winners : int;
+  aeba_degree : int;
+  aeba_rounds : int;
+  max_election_rounds : int;
+  a2e_requests_per_label : int;
+  a2e_labels : int;
+  a2e_iterations : int;
+  share_policy : share_threshold_policy;
+  header_bits : int;
+}
+
+(* Tree height used by the practical profile: the paper's height is
+   log_q(n/k1) with q = log^δ n — i.e. very shallow for any simulatable n.
+   We pin 3 levels up to 2048 processors and 4 above. *)
+let practical_height n = if n <= 2048 then 3 else 4
+
+let practical n =
+  if n < 16 then invalid_arg "Params.practical: n must be at least 16";
+  let lg = Intmath.ceil_log2 n in
+  let height = practical_height n in
+  (* Choose q so that ceil-dividing n by q (height - 1) times reaches 1. *)
+  let q =
+    let rec fit q =
+      let rec steps m k = if m = 1 then k else steps (Intmath.cdiv m q) (k + 1) in
+      if steps n 0 <= height - 1 then q else fit (q + 1)
+    in
+    fit (Stdlib.max 2 (int_of_float (Float.of_int n ** (1.0 /. float_of_int (height - 1)))))
+  in
+  {
+    n;
+    epsilon = 0.08;
+    q;
+    k1 = Stdlib.max 8 (lg + 4);
+    growth = 2;
+    up_degree = 16;
+    ell_degree = 8;
+    winners = 2;
+    aeba_degree = Stdlib.max 8 (4 * lg);
+    aeba_rounds = lg + 4;
+    max_election_rounds = lg + 2;
+    a2e_requests_per_label = Stdlib.max 12 (3 * lg);
+    a2e_labels = Stdlib.max 2 (Intmath.isqrt n);
+    a2e_iterations = Stdlib.max 6 (lg + 2);
+    share_policy = Third;
+    header_bits = 32;
+  }
+
+let theoretical n =
+  if n < 4 then invalid_arg "Params.theoretical: n too small";
+  let lg = Intmath.ceil_log2 n in
+  let lg3 = lg * lg * lg in
+  let delta = 8 in
+  let q = Intmath.pow lg delta in
+  {
+    n;
+    epsilon = 0.01;
+    q;
+    k1 = lg3;
+    growth = q;
+    up_degree = q * lg3;
+    ell_degree = lg3;
+    winners = 5 * lg3;
+    aeba_degree = 4 * lg;
+    aeba_rounds = 2 * lg;
+    max_election_rounds = max_int;
+    a2e_requests_per_label = 32 * lg;
+    a2e_labels = Stdlib.max 2 (Intmath.isqrt n);
+    a2e_iterations = Stdlib.max 1 (2 * lg / 3);
+    share_policy = Half_minus_one;
+    header_bits = 32;
+  }
+
+let corruption_budget t =
+  int_of_float (((1.0 /. 3.0) -. t.epsilon) *. float_of_int t.n)
+
+let share_threshold t ~holders =
+  if holders < 2 then 0
+  else
+    match t.share_policy with
+    | Half_minus_one -> Stdlib.max 1 (Intmath.cdiv holders 2 - 1)
+    | Third -> Stdlib.max 1 (Intmath.cdiv holders 3 - 1)
+
+let tree_config t =
+  {
+    Ks_topology.Tree.n = t.n;
+    q = t.q;
+    k1 = Stdlib.min t.n t.k1;
+    growth = t.growth;
+    up_degree = t.up_degree;
+    ell_degree = t.ell_degree;
+  }
+
+let validate t =
+  let fail msg = invalid_arg ("Params.validate: " ^ msg) in
+  if t.n < 16 then fail "n < 16";
+  if t.epsilon <= 0.0 || t.epsilon >= 1.0 /. 3.0 then fail "epsilon outside (0, 1/3)";
+  if t.q < 2 then fail "q < 2";
+  if t.k1 < 4 || t.k1 > t.n then fail "k1 outside [4, n]";
+  if t.winners < 1 then fail "winners < 1";
+  if t.aeba_rounds < 1 then fail "aeba_rounds < 1";
+  if t.max_election_rounds < 1 then fail "max_election_rounds < 1";
+  if t.a2e_labels < 1 || t.a2e_labels > t.n then fail "a2e_labels outside [1, n]";
+  if t.a2e_requests_per_label < 1 then fail "a2e_requests_per_label < 1";
+  if t.header_bits < 0 then fail "bit sizes";
+  t
+
+let pp fmt t =
+  Format.fprintf fmt
+    "{n=%d; eps=%.3f; q=%d; k1=%d; up=%d; ell=%d; w=%d; aeba_deg=%d; \
+     aeba_rounds=%d; elect_rounds<=%d; a2e=%dx%d reqs, %d iters; policy=%s}"
+    t.n t.epsilon t.q t.k1 t.up_degree t.ell_degree t.winners t.aeba_degree
+    t.aeba_rounds t.max_election_rounds t.a2e_labels t.a2e_requests_per_label
+    t.a2e_iterations
+    (match t.share_policy with Half_minus_one -> "half" | Third -> "third")

@@ -1,0 +1,86 @@
+module Prng = Ks_stdx.Prng
+
+type result = {
+  committee : int array;
+  good_at_election : float;
+  good_after_hunt : float;
+  coin_commonality : float;
+  coin_distinct_rate : float;
+  ae : Ae_ba.result;
+}
+
+let good_fraction net committee =
+  if Array.length committee = 0 then 0.0
+  else begin
+    let good =
+      Array.fold_left
+        (fun acc p -> if Ks_sim.Net.is_corrupt net p then acc else acc + 1)
+        0 committee
+    in
+    float_of_int good /. float_of_int (Array.length committee)
+  end
+
+let reduce ~params ~seed ~behavior ~strategy ?budget () =
+  let n = params.Params.n in
+  let rng = Prng.create seed in
+  let inputs = Array.init n (fun _ -> Prng.bool rng) in
+  let ae = Ae_ba.run ~params ~seed ~inputs ~behavior ~strategy ?budget () in
+  let net = Comm.net ae.Ae_ba.comm in
+  let committee = ae.Ae_ba.root_candidates in
+  let good_at_election = good_fraction net committee in
+  (* The hunt: the committee is public once elected, so the adaptive
+     adversary spends whatever corruption budget remains on exactly its
+     members.  This is the attack that kills processor-committee designs
+     — and that electing arrays was invented to survive. *)
+  Ks_sim.Net.corrupt_now net (Array.to_list committee);
+  let good_after_hunt = good_fraction net committee in
+  (* The coin subsequence is opened only now, after the hunt: the shares
+     were re-split across the whole tree and erased below, so the fallen
+     dealers take no secrets down with them. *)
+  let iterations = params.Params.a2e_iterations in
+  let commonality = ref [] in
+  let distinct = ref 0 in
+  let previous = ref None in
+  for iteration = 0 to iterations - 1 do
+    let counts = Hashtbl.create 16 in
+    let good_total = ref 0 in
+    for p = 0 to n - 1 do
+      if not (Ks_sim.Net.is_corrupt net p) then begin
+        incr good_total;
+        match ae.Ae_ba.coin_view ~iteration p with
+        | Some k ->
+          Hashtbl.replace counts k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+        | None -> ()
+      end
+    done;
+    let plurality = ref None in
+    Hashtbl.iter
+      (fun k c ->
+        match !plurality with
+        | Some (_, bc) when bc >= c -> ()
+        | _ -> plurality := Some (k, c))
+      counts;
+    (match !plurality with
+     | Some (k, c) when !good_total > 0 ->
+       commonality := (float_of_int c /. float_of_int !good_total) :: !commonality;
+       (match !previous with
+        | Some k' when k' <> k -> incr distinct
+        | Some _ -> ()
+        | None -> ());
+       previous := Some k
+     | Some _ | None -> commonality := 0.0 :: !commonality)
+  done;
+  {
+    committee;
+    good_at_election;
+    good_after_hunt;
+    coin_commonality =
+      (match !commonality with
+       | [] -> 0.0
+       | l -> Ks_stdx.Stats.mean (Array.of_list l));
+    coin_distinct_rate =
+      (if iterations <= 1 then 0.0
+       else float_of_int !distinct /. float_of_int (iterations - 1));
+    ae;
+  }

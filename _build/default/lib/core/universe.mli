@@ -1,0 +1,53 @@
+(** Universe reduction and the global coin subsequence — the paper's
+    companion results (§1.2): "Our techniques also lead to solutions
+    with Õ(√n) bit complexity for universe reduction and ... the global
+    coin subsequence problem".
+
+    Universe reduction elects a small committee that is {e representative}:
+    its good fraction tracks the population's.  The tournament gives it
+    directly — the arrays surviving to the root map one-to-one to their
+    dealers.  But the paper's key observation (§1.3) is that against an
+    {e adaptive} adversary a committee of processors is "prima facie
+    impossible": the adversary simply corrupts the committee once it is
+    announced.  That is why the protocol elects {e arrays of secrets}
+    rather than processors — the arrays' usefulness (their hidden random
+    words) survives the corruption of their dealers.
+
+    {!reduce} runs the tournament and reports both readings: the
+    committee's good fraction {e at election time} (the representativeness
+    Lemma 6 is about) and {e after} the adversary gets post-election
+    corruption rounds to spend its remaining budget on the committee —
+    the measurable gap between the two is the paper's motivation, and the
+    coin-quality figures show that the elected arrays keep working even
+    as their dealers fall. *)
+
+type result = {
+  committee : int array;  (** dealers of the arrays surviving to the root *)
+  good_at_election : float;
+      (** fraction of the committee not corrupted when elected *)
+  good_after_hunt : float;
+      (** fraction still good after the adversary spends its remaining
+          budget hunting committee members *)
+  coin_commonality : float;
+      (** over the coin-subsequence iterations (opened after the hunt):
+          mean fraction of good processors sharing the plurality value —
+          the "known almost everywhere" half of the (s, t) guarantee *)
+  coin_distinct_rate : float;
+      (** fraction of iterations whose plurality value differed from the
+          previous iteration's — a cheap unpredictability check (≈ 1 −
+          1/labels for uniform draws, ≈ 0 for a stuck generator) *)
+  ae : Ae_ba.result;
+}
+
+(** [reduce ~params ~seed ~behavior ~strategy ?budget ()] — run the
+    tournament on random inputs, let the adversary hunt the announced
+    committee with its leftover budget, then open the coin subsequence
+    and measure it. *)
+val reduce :
+  params:Params.t ->
+  seed:int64 ->
+  behavior:Comm.behavior ->
+  strategy:Comm.payload Ks_sim.Types.strategy ->
+  ?budget:int ->
+  unit ->
+  result

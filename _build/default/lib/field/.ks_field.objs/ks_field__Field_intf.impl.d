@@ -1,0 +1,1 @@
+lib/field/field_intf.ml: Format Ks_stdx

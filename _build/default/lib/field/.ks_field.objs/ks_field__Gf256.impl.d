@@ -1,0 +1,1 @@
+lib/field/gf256.ml: Array Char Format Int Ks_stdx

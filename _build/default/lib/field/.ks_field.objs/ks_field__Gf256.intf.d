@@ -1,0 +1,1 @@
+lib/field/gf256.mli: Field_intf

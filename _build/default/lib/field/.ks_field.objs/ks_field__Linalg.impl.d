@@ -1,0 +1,1 @@
+lib/field/linalg.ml: Array Field_intf List

@@ -1,0 +1,1 @@
+lib/field/linalg.mli: Field_intf

@@ -1,0 +1,1 @@
+lib/field/poly.ml: Array Field_intf Format List Stdlib

@@ -1,0 +1,1 @@
+lib/field/poly.mli: Field_intf Format Ks_stdx

@@ -1,0 +1,1 @@
+lib/field/zp.ml: Format Int Ks_stdx

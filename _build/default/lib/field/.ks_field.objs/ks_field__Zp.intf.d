@@ -1,0 +1,1 @@
+lib/field/zp.mli: Field_intf

@@ -1,0 +1,47 @@
+(** Signature of a finite field, as required by secret sharing and
+    Reed–Solomon decoding.
+
+    Elements are represented by a canonical [t]; [of_int] reduces an
+    arbitrary non-negative integer into the field, and [to_int] returns the
+    canonical representative in [0, order). *)
+
+module type S = sig
+  type t
+
+  (** Number of field elements.  Shamir sharing to [n] holders requires
+      [order > n]. *)
+  val order : int
+
+  val zero : t
+  val one : t
+
+  (** [of_int k] for [k >= 0] reduces [k] modulo the field (for prime
+      fields) or truncates to the element range (for binary fields).
+      Raises [Invalid_argument] on negative input. *)
+  val of_int : int -> t
+
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+
+  (** [inv x] — multiplicative inverse; raises [Division_by_zero] on
+      [zero]. *)
+  val inv : t -> t
+
+  (** [div a b] = [mul a (inv b)]. *)
+  val div : t -> t -> t
+
+  (** [pow x e] for [e >= 0]. *)
+  val pow : t -> int -> t
+
+  (** [random rng] — uniform field element. *)
+  val random : Ks_stdx.Prng.t -> t
+
+  (** [random_nonzero rng] — uniform over the multiplicative group. *)
+  val random_nonzero : Ks_stdx.Prng.t -> t
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,131 @@
+module Make (F : Field_intf.S) = struct
+  type t = F.t array
+  (* Invariant: either empty, or the last coefficient is non-zero. *)
+
+  let normalise a =
+    let n = ref (Array.length a) in
+    while !n > 0 && F.equal a.(!n - 1) F.zero do
+      decr n
+    done;
+    if !n = Array.length a then a else Array.sub a 0 !n
+
+  let zero = [||]
+  let of_coeffs a = normalise (Array.copy a)
+  let coeffs t = Array.copy t
+  let degree t = Array.length t - 1
+
+  let equal a b =
+    Array.length a = Array.length b
+    && begin
+         let rec go i = i >= Array.length a || (F.equal a.(i) b.(i) && go (i + 1)) in
+         go 0
+       end
+
+  let eval t x =
+    let acc = ref F.zero in
+    for i = Array.length t - 1 downto 0 do
+      acc := F.add (F.mul !acc x) t.(i)
+    done;
+    !acc
+
+  let add a b =
+    let n = Stdlib.max (Array.length a) (Array.length b) in
+    let get c i = if i < Array.length c then c.(i) else F.zero in
+    normalise (Array.init n (fun i -> F.add (get a i) (get b i)))
+
+  let sub a b =
+    let n = Stdlib.max (Array.length a) (Array.length b) in
+    let get c i = if i < Array.length c then c.(i) else F.zero in
+    normalise (Array.init n (fun i -> F.sub (get a i) (get b i)))
+
+  let scale k t =
+    if F.equal k F.zero then zero else Array.map (F.mul k) t
+
+  let mul a b =
+    if Array.length a = 0 || Array.length b = 0 then zero
+    else begin
+      let out = Array.make (Array.length a + Array.length b - 1) F.zero in
+      Array.iteri
+        (fun i ai ->
+          Array.iteri (fun j bj -> out.(i + j) <- F.add out.(i + j) (F.mul ai bj)) b)
+        a;
+      normalise out
+    end
+
+  let divmod a b =
+    if Array.length b = 0 then raise Division_by_zero;
+    let db = degree b in
+    let lead_inv = F.inv b.(db) in
+    let rem = Array.copy a in
+    let dq = degree a - db in
+    if dq < 0 then (zero, normalise rem)
+    else begin
+      let q = Array.make (dq + 1) F.zero in
+      for i = dq downto 0 do
+        let coeff = F.mul rem.(i + db) lead_inv in
+        q.(i) <- coeff;
+        if not (F.equal coeff F.zero) then
+          for j = 0 to db do
+            rem.(i + j) <- F.sub rem.(i + j) (F.mul coeff b.(j))
+          done
+      done;
+      (normalise q, normalise rem)
+    end
+
+  let random rng ~degree ~const =
+    if degree < 0 then invalid_arg "Poly.random: negative degree";
+    let a = Array.init (degree + 1) (fun _ -> F.random rng) in
+    a.(0) <- const;
+    normalise a
+
+  let check_distinct pts =
+    let rec go = function
+      | [] -> ()
+      | (x, _) :: rest ->
+        if List.exists (fun (x', _) -> F.equal x x') rest then
+          invalid_arg "Poly.interpolate: duplicate abscissa";
+        go rest
+    in
+    if pts = [] then invalid_arg "Poly.interpolate: no points";
+    go pts
+
+  let interpolate pts =
+    check_distinct pts;
+    (* Sum of y_i * prod_{j<>i} (X - x_j) / (x_i - x_j). *)
+    let basis (xi, yi) =
+      let num, denom =
+        List.fold_left
+          (fun (num, denom) (xj, _) ->
+            if F.equal xi xj then (num, denom)
+            else (mul num (of_coeffs [| F.neg xj; F.one |]), F.mul denom (F.sub xi xj)))
+          (of_coeffs [| F.one |], F.one)
+          pts
+      in
+      scale (F.mul yi (F.inv denom)) num
+    in
+    List.fold_left (fun acc pt -> add acc (basis pt)) zero pts
+
+  let lagrange_eval pts x =
+    check_distinct pts;
+    let term (xi, yi) =
+      let num, denom =
+        List.fold_left
+          (fun (num, denom) (xj, _) ->
+            if F.equal xi xj then (num, denom)
+            else (F.mul num (F.sub x xj), F.mul denom (F.sub xi xj)))
+          (F.one, F.one)
+          pts
+      in
+      F.mul yi (F.div num denom)
+    in
+    List.fold_left (fun acc pt -> F.add acc (term pt)) F.zero pts
+
+  let pp fmt t =
+    if Array.length t = 0 then Format.fprintf fmt "0"
+    else
+      Array.iteri
+        (fun i c ->
+          if i > 0 then Format.fprintf fmt " + ";
+          Format.fprintf fmt "%a·X^%d" F.pp c i)
+        t
+end

@@ -1,0 +1,43 @@
+(** Univariate polynomials over an arbitrary finite field.
+
+    Coefficients are stored lowest-degree first.  Values are normalised
+    (no trailing zero coefficients) by every operation, so [degree] is
+    meaningful; the zero polynomial has degree [-1]. *)
+
+module Make (F : Field_intf.S) : sig
+  type t
+
+  val zero : t
+  val of_coeffs : F.t array -> t
+  val coeffs : t -> F.t array
+
+  (** [degree p] — [-1] for the zero polynomial. *)
+  val degree : t -> int
+
+  val equal : t -> t -> bool
+  val eval : t -> F.t -> F.t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val scale : F.t -> t -> t
+
+  (** [divmod a b] returns [(q, r)] with [a = q·b + r] and
+      [degree r < degree b].  Raises [Division_by_zero] if [b] is zero. *)
+  val divmod : t -> t -> t * t
+
+  (** [random rng ~degree ~const] draws coefficients uniformly for degrees
+      1..[degree] and fixes the constant term to [const] — exactly the
+      dealer polynomial of Shamir sharing. *)
+  val random : Ks_stdx.Prng.t -> degree:int -> const:F.t -> t
+
+  (** [interpolate pts] — the unique polynomial of degree < |pts| through
+      the given points.  Raises [Invalid_argument] on duplicate abscissae
+      or an empty list. *)
+  val interpolate : (F.t * F.t) list -> t
+
+  (** [lagrange_eval pts x] evaluates the interpolating polynomial at [x]
+      directly (O(k²) field operations, no intermediate polynomial). *)
+  val lagrange_eval : (F.t * F.t) list -> F.t -> F.t
+
+  val pp : Format.formatter -> t -> unit
+end

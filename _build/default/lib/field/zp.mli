@@ -1,0 +1,13 @@
+(** The prime field Z_p with p = 2^31 - 1 (a Mersenne prime).
+
+    This is the field used for all secret sharing in the protocol stack:
+    its order comfortably exceeds any number of share holders we simulate,
+    and products of two canonical representatives fit in OCaml's native
+    63-bit integers, so arithmetic needs no boxing. *)
+
+include Field_intf.S with type t = int
+(** The representation is exposed as the canonical representative in
+    [0, p): protocol code stores wire words as plain ints. *)
+
+(** The modulus, 2147483647. *)
+val p : int

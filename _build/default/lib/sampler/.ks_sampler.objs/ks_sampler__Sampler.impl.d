@@ -1,0 +1,1 @@
+lib/sampler/sampler.ml: Array Float Ks_stdx Stdlib

@@ -1,0 +1,1 @@
+lib/sampler/sampler.mli: Ks_stdx

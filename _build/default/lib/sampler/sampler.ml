@@ -1,0 +1,81 @@
+module Prng = Ks_stdx.Prng
+
+type t = { r : int; s : int; d : int; assign : int array array }
+
+let validate ~r ~s ~d =
+  if r <= 0 || s <= 0 || d <= 0 then invalid_arg "Sampler.create: non-positive dimension"
+
+let create rng ~r ~s ~d =
+  validate ~r ~s ~d;
+  let assign = Array.init r (fun _ -> Array.init d (fun _ -> Prng.int rng s)) in
+  { r; s; d; assign }
+
+let create_distinct rng ~r ~s ~d =
+  validate ~r ~s ~d;
+  if d > s then invalid_arg "Sampler.create_distinct: d > s";
+  let assign =
+    Array.init r (fun _ -> Prng.sample_without_replacement rng ~n:s ~k:d)
+  in
+  { r; s; d; assign }
+
+let r t = t.r
+let s t = t.s
+let d t = t.d
+
+let eval t x =
+  if x < 0 || x >= t.r then invalid_arg "Sampler.eval: input out of range";
+  t.assign.(x)
+
+let degree t y =
+  let count = ref 0 in
+  Array.iter
+    (fun multiset -> Array.iter (fun e -> if e = y then incr count) multiset)
+    t.assign;
+  !count
+
+let degrees t =
+  let deg = Array.make t.s 0 in
+  Array.iter
+    (fun multiset -> Array.iter (fun e -> deg.(e) <- deg.(e) + 1) multiset)
+    t.assign;
+  deg
+
+let max_degree t = Array.fold_left Stdlib.max 0 (degrees t)
+
+let bad_fraction t ~bad x =
+  let multiset = eval t x in
+  let hits = Array.fold_left (fun acc e -> if bad.(e) then acc + 1 else acc) 0 multiset in
+  float_of_int hits /. float_of_int t.d
+
+let exceeding_inputs t ~bad ~theta =
+  if Array.length bad <> t.s then invalid_arg "Sampler.exceeding_inputs: bad set size";
+  let set_size = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bad in
+  let population = float_of_int set_size /. float_of_int t.s in
+  let threshold = population +. theta in
+  let exceeding = ref 0 in
+  for x = 0 to t.r - 1 do
+    if bad_fraction t ~bad x > threshold then incr exceeding
+  done;
+  float_of_int !exceeding /. float_of_int t.r
+
+let estimate_delta rng t ~theta ~trials ~set_fraction =
+  let set_size = Ks_stdx.Intmath.clamp ~lo:1 ~hi:t.s
+      (int_of_float (set_fraction *. float_of_int t.s))
+  in
+  let worst = ref 0.0 in
+  for _ = 1 to trials do
+    let chosen = Prng.sample_without_replacement rng ~n:t.s ~k:set_size in
+    let bad = Array.make t.s false in
+    Array.iter (fun i -> bad.(i) <- true) chosen;
+    worst := Float.max !worst (exceeding_inputs t ~bad ~theta)
+  done;
+  (* Greedy adversarial set: the highest-degree elements skew the most
+     multisets at once. *)
+  let deg = degrees t in
+  let order = Array.init t.s (fun i -> i) in
+  Array.sort (fun a b -> compare deg.(b) deg.(a)) order;
+  let bad = Array.make t.s false in
+  for i = 0 to set_size - 1 do
+    bad.(order.(i)) <- true
+  done;
+  Float.max !worst (exceeding_inputs t ~bad ~theta)

@@ -1,0 +1,60 @@
+(** Averaging (oblivious) samplers — Definition 2 of the paper.
+
+    A sampler is a function [H : [r] -> [s]^d] assigning to each input a
+    multiset of [d] elements of [s].  [H] is a (θ, δ) sampler if for every
+    subset [S] of [s], at most a δ fraction of inputs [x] have
+    [|H(x) ∩ S| / d > |S|/s + θ] — i.e. almost every assigned multiset is
+    nearly as "clean" as the population.
+
+    The paper (Lemma 2) establishes existence by the probabilistic method
+    and assumes a non-uniform model in which processors simply have the
+    sampler.  We realise that model by drawing [H] from the very
+    distribution used in the existence proof — d independent uniform
+    choices per input, from a shared seed — and provide estimators that
+    measure the (θ, δ) quality empirically (reproduced as table T8).
+
+    Samplers determine the whole network: node membership at every tree
+    level, uplinks, and ℓ-links (§3.2.2). *)
+
+type t
+
+(** [create rng ~r ~s ~d] draws each of the [r] multisets as [d] uniform,
+    independent elements of [0, s) (with replacement — the distribution of
+    the probabilistic-method proof). *)
+val create : Ks_stdx.Prng.t -> r:int -> s:int -> d:int -> t
+
+(** [create_distinct rng ~r ~s ~d] draws each multiset without
+    replacement ([d <= s] required): used where the protocol needs [d]
+    distinct processors (e.g. node membership). *)
+val create_distinct : Ks_stdx.Prng.t -> r:int -> s:int -> d:int -> t
+
+val r : t -> int
+val s : t -> int
+val d : t -> int
+
+(** [eval h x] — the multiset assigned to input [x], as an array of
+    length [d].  The array is owned by the sampler; do not mutate. *)
+val eval : t -> int -> int array
+
+(** [degree h y] — |{(x, i) | (eval h x).(i) = y}|, the number of
+    multiset slots naming [y].  Lemma 2 bounds the maximum degree by
+    O((r·d/s)·log n). *)
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+(** [bad_fraction h ~bad x] — the fraction of [eval h x]'s slots landing
+    in the set [bad] (an [s]-length characteristic array). *)
+val bad_fraction : t -> bad:bool array -> int -> float
+
+(** [exceeding_inputs h ~bad ~theta] — the fraction of inputs [x] whose
+    [bad_fraction] exceeds [|bad|/s + theta]: the δ witnessed by this
+    particular adversarial set. *)
+val exceeding_inputs : t -> bad:bool array -> theta:float -> float
+
+(** [estimate_delta rng h ~theta ~trials ~set_fraction] estimates the
+    sampler's δ at the given θ: the maximum of [exceeding_inputs] over
+    [trials] random subsets of size [set_fraction·s] and one greedy
+    adversarial subset built from the highest-degree elements. *)
+val estimate_delta :
+  Ks_stdx.Prng.t -> t -> theta:float -> trials:int -> set_fraction:float -> float

@@ -1,0 +1,1 @@
+lib/shamir/additive.ml: Array Ks_field

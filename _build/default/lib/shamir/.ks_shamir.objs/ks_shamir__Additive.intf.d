@@ -1,0 +1,1 @@
+lib/shamir/additive.mli: Ks_field Ks_stdx

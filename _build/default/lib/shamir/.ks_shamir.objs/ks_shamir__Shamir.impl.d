@@ -1,0 +1,1 @@
+lib/shamir/shamir.ml: Array Hashtbl Ks_field List Option Stdlib

@@ -1,0 +1,1 @@
+lib/shamir/shamir.mli: Ks_field Ks_stdx

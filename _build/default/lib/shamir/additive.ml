@@ -1,0 +1,13 @@
+module Make (F : Ks_field.Field_intf.S) = struct
+  let deal rng ~holders secret =
+    if holders < 1 then invalid_arg "Additive.deal: need at least one holder";
+    let shares = Array.init holders (fun _ -> F.random rng) in
+    let sum_rest = ref F.zero in
+    for i = 1 to holders - 1 do
+      sum_rest := F.add !sum_rest shares.(i)
+    done;
+    shares.(0) <- F.sub secret !sum_rest;
+    shares
+
+  let reconstruct shares = Array.fold_left F.add F.zero shares
+end

@@ -1,0 +1,360 @@
+module Make (F : Ks_field.Field_intf.S) = struct
+  module P = Ks_field.Poly.Make (F)
+  module L = Ks_field.Linalg.Make (F)
+
+  type share = { index : int; value : F.t }
+
+  let point index = F.of_int (index + 1)
+
+  let deal rng ~threshold ~holders secret =
+    if threshold < 0 then invalid_arg "Shamir.deal: negative threshold";
+    if holders <= threshold then invalid_arg "Shamir.deal: holders <= threshold";
+    if holders >= F.order - 1 then invalid_arg "Shamir.deal: too many holders for field";
+    let poly = P.random rng ~degree:threshold ~const:secret in
+    Array.init holders (fun index -> { index; value = P.eval poly (point index) })
+
+  let deal_at rng ~threshold ~xs secret =
+    if threshold < 0 then invalid_arg "Shamir.deal_at: negative threshold";
+    let holders = Array.length xs in
+    if holders <= threshold then invalid_arg "Shamir.deal_at: holders <= threshold";
+    Array.iter (fun x -> if x < 0 then invalid_arg "Shamir.deal_at: negative x") xs;
+    let poly = P.random rng ~degree:threshold ~const:secret in
+    Array.map (fun index -> { index; value = P.eval poly (point index) }) xs
+
+  (* Keep one share per distinct index, in first-seen order. *)
+  let dedup shares =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun s ->
+        if Hashtbl.mem seen s.index then false
+        else begin
+          Hashtbl.add seen s.index ();
+          true
+        end)
+      shares
+
+  let reconstruct ~threshold shares =
+    let shares = dedup shares in
+    if List.length shares < threshold + 1 then None
+    else begin
+      let chosen = List.filteri (fun i _ -> i <= threshold) shares in
+      let pts = List.map (fun s -> (point s.index, s.value)) chosen in
+      Some (P.lagrange_eval pts F.zero)
+    end
+
+  (* Berlekamp–Welch: find E monic of degree e and Q of degree <= t + e
+     with Q(x_i) = y_i * E(x_i) for all i; then the message polynomial is
+     Q / E.  We iterate e downward from its maximum until a consistent
+     system yields a divisible pair that matches enough points. *)
+  let berlekamp_welch_poly ~threshold pts =
+    let m = Array.length pts in
+    let k = threshold + 1 in
+    if m < k then None
+    else begin
+      let e_max = (m - k) / 2 in
+      let matches poly =
+        Array.fold_left
+          (fun acc (x, y) -> if F.equal (P.eval poly x) y then acc + 1 else acc)
+          0 pts
+      in
+      let try_e e =
+        (* Unknowns: q_0..q_{k-1+e}, e_0..e_{e-1}; E = X^e + sum e_j X^j. *)
+        let nq = k + e in
+        let ncols = nq + e in
+        let a =
+          Array.init m (fun i ->
+              let x, y = pts.(i) in
+              Array.init ncols (fun c ->
+                  if c < nq then F.pow x c else F.neg (F.mul y (F.pow x (c - nq)))))
+        in
+        let b =
+          Array.init m (fun i ->
+              let x, y = pts.(i) in
+              F.mul y (F.pow x e))
+        in
+        match L.solve a b with
+        | None -> None
+        | Some sol ->
+          let q = P.of_coeffs (Array.sub sol 0 nq) in
+          let e_coeffs = Array.append (Array.sub sol nq e) [| F.one |] in
+          let err = P.of_coeffs e_coeffs in
+          let quot, rem = P.divmod q err in
+          if P.degree rem >= 0 then None
+          else if P.degree quot > threshold then None
+          else if
+            (* Accept only with at least one redundant matching point:
+               k points always fit a degree-(k-1) polynomial, so an
+               exactly-k fit carries no evidence.  Rejecting it turns
+               undetectable corruption into an erasure, which the
+               protocol's majority layers absorb. *)
+            matches quot >= Stdlib.max (k + 1) (m - e_max)
+          then Some quot
+          else None
+      in
+      let rec search e =
+        if e < 0 then None
+        else match try_e e with Some p -> Some p | None -> search (e - 1)
+      in
+      search e_max
+    end
+
+  (* Maximum-likelihood list decoding: gather candidate polynomials from
+     every cyclic window of k consecutive points (a window is clean with
+     good probability when errors are scattered) plus the Berlekamp–Welch
+     decode, score each candidate by how many points it explains, and
+     accept the uniquely best-supported codeword with at least k + 1
+     supporters.  This decodes far beyond the half-distance radius when
+     corruption is uncoordinated, yet a coordinated wrong codeword must
+     out-support the truth to win — impossible while honest pieces hold a
+     majority — and an exact tie yields None rather than a guess. *)
+  let best_codeword ~threshold pts =
+    let m = Array.length pts in
+    let k = threshold + 1 in
+    if m < k + 1 then None
+    else if m > 62 then
+      (* Bitmask support sets need m to fit an int; fall back to plain
+         Berlekamp–Welch for very wide deals (not used by the protocol). *)
+      berlekamp_welch_poly ~threshold pts
+    else begin
+      let e_max = (m - k) / 2 in
+      (* Within the classical radius the codeword is unique — accept
+         immediately. *)
+      let radius_accept = Stdlib.max (k + 1) (m - e_max) in
+      let support_of eval =
+        let mask = ref 0 and count = ref 0 in
+      for p = 0 to m - 1 do
+          let x, y = pts.(p) in
+          if F.equal (eval x) y then begin
+            mask := !mask lor (1 lsl p);
+            incr count
+          end
+        done;
+        (!mask, !count)
+      in
+      (* Candidate subsets: cyclic windows at several strides — each is
+         clean (error-free) with decent probability when errors are
+         scattered, and different strides decorrelate the windows.  A
+         stride works only when its orbit is long enough for k distinct
+         indices. *)
+      let strides =
+        let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+        List.filter (fun s -> s < m && m / gcd s m >= k) [ 1; 3; 7; 11; 13 ]
+      in
+      let subsets =
+        List.concat_map
+          (fun s -> List.init m (fun start -> Array.init k (fun j -> (start + (j * s)) mod m)))
+          strides
+      in
+      (* Track the two best distinct codewords (a support mask of >= k+1
+         points identifies a codeword uniquely). *)
+      let best = ref (0, 0) and second_count = ref 0 in
+      let winner = ref None in
+      let eval_of_subset idx =
+        let weights =
+          Array.map
+            (fun i ->
+              let xi, yi = pts.(i) in
+              let den = ref F.one in
+              Array.iter
+                (fun j ->
+                  if j <> i then begin
+                    let xj, _ = pts.(j) in
+                    den := F.mul !den (F.sub xi xj)
+                  end)
+                idx;
+              F.div yi !den)
+            idx
+        in
+        fun x ->
+          let acc = ref F.zero in
+          for a = 0 to k - 1 do
+            let prod = ref weights.(a) in
+            for b = 0 to k - 1 do
+              if b <> a then begin
+                let xb, _ = pts.(idx.(b)) in
+                prod := F.mul !prod (F.sub x xb)
+              end
+            done;
+            acc := F.add !acc !prod
+          done;
+          !acc
+      in
+      let rec scan = function
+        | [] -> ()
+        | idx :: rest ->
+          let eval = eval_of_subset idx in
+          let mask, count = support_of eval in
+          if count >= radius_accept then winner := Some idx
+          else begin
+            let bmask, bcount = !best in
+            if mask <> bmask then begin
+              if count > bcount then begin
+                if bcount > !second_count then second_count := bcount;
+                best := (mask, count)
+              end
+              else if count > !second_count then second_count := count
+            end;
+            scan rest
+          end
+      in
+      scan subsets;
+      match !winner with
+      | Some idx ->
+        Some (P.interpolate (List.map (fun i -> pts.(i)) (Array.to_list idx)))
+      | None ->
+        (* Berlekamp–Welch as a last candidate, then the tie rule. *)
+        let bw = berlekamp_welch_poly ~threshold pts in
+        let bw_scored =
+          Option.map
+            (fun poly ->
+              let mask, count = support_of (P.eval poly) in
+              (poly, mask, count))
+            bw
+        in
+        let bmask, bcount = !best in
+        (match bw_scored with
+         | Some (poly, mask, count) when mask <> bmask && count > bcount ->
+           if count >= k + 1 && count > bcount then Some poly else None
+         | _ ->
+           if bcount >= k + 1 && bcount > !second_count then begin
+             (* Rebuild the best window's polynomial from its support. *)
+             let pts_of_mask =
+               List.filteri (fun i _ -> bmask land (1 lsl i) <> 0)
+                 (Array.to_list pts)
+             in
+             let chosen = List.filteri (fun i _ -> i < k) pts_of_mask in
+             Some (P.interpolate chosen)
+           end
+           else None)
+    end
+
+  let reconstruct_robust ~threshold shares =
+    let shares = dedup shares in
+    let pts = Array.of_list (List.map (fun s -> (point s.index, s.value)) shares) in
+    Option.map (fun p -> P.eval p F.zero) (best_codeword ~threshold pts)
+
+  let deal_vector rng ~threshold ~holders words =
+    let per_word = Array.map (fun w -> deal rng ~threshold ~holders w) words in
+    (* Transpose: per_word.(w).(h) -> per_holder.(h).(w). *)
+    Array.init holders (fun h -> Array.map (fun shares -> shares.(h)) per_word)
+
+  let deal_vector_at rng ~threshold ~xs words =
+    let per_word = Array.map (fun w -> deal_at rng ~threshold ~xs w) words in
+    Array.init (Array.length xs) (fun h ->
+        Array.map (fun shares -> shares.(h).value) per_word)
+
+  let reconstruct_with f ~threshold per_word =
+    let out = Array.map (fun shares -> f ~threshold shares) per_word in
+    if Array.for_all Option.is_some out then Some (Array.map Option.get out) else None
+
+  let reconstruct_vector ~threshold per_word =
+    reconstruct_with reconstruct ~threshold per_word
+
+  let reconstruct_vector_robust ~threshold per_word =
+    reconstruct_with reconstruct_robust ~threshold per_word
+
+  (* Lagrange coefficients at zero for a point set given as x-indices. *)
+  let weights_at_zero xs =
+    Array.mapi
+      (fun i xi ->
+        let pi = point xi in
+        let num = ref F.one and denom = ref F.one in
+        Array.iteri
+          (fun j xj ->
+            if i <> j then begin
+              let pj = point xj in
+              num := F.mul !num pj;
+              denom := F.mul !denom (F.sub pj pi)
+            end)
+          xs;
+        F.div !num !denom)
+      xs
+
+  let dot weights values =
+    let acc = ref F.zero in
+    Array.iteri (fun i w -> acc := F.add !acc (F.mul w values.(i))) weights;
+    !acc
+
+  let reconstruct_vectors ~threshold holders =
+    let seen = Hashtbl.create 16 in
+    let holders =
+      List.filter
+        (fun (x, _) ->
+          if Hashtbl.mem seen x then false
+          else begin
+            Hashtbl.add seen x ();
+            true
+          end)
+        holders
+    in
+    let m = List.length holders in
+    let k = threshold + 1 in
+    (* m = k would be vacuously consistent (see berlekamp_welch_poly);
+       demand one redundant holder. *)
+    if m < k + 1 then None
+    else begin
+      let words =
+        match holders with (_, v) :: _ -> Array.length v | [] -> 0
+      in
+      if List.exists (fun (_, v) -> Array.length v <> words) holders then
+        invalid_arg "Shamir.reconstruct_vectors: ragged vectors";
+      if words = 0 then Some [||]
+      else begin
+        let xs = Array.of_list (List.map fst holders) in
+        let vs = Array.of_list (List.map snd holders) in
+        let probe_pts = Array.map2 (fun x v -> (point x, v.(0))) xs vs in
+        (* Identify the honest holders once, on the probe word: fast path
+           interpolates through the first k and hopes for unanimity; the
+           slow path decodes the probe with Berlekamp–Welch. *)
+        let honest =
+          let first_k = Array.to_list (Array.sub probe_pts 0 k) in
+          let unanimous =
+            Array.for_all (fun (x, y) -> F.equal (P.lagrange_eval first_k x) y) probe_pts
+          in
+          if unanimous then Some (Array.init m (fun i -> i))
+          else
+            match best_codeword ~threshold probe_pts with
+            | None -> None
+            | Some poly ->
+              let fit = ref [] in
+              Array.iteri
+                (fun i (x, y) -> if F.equal (P.eval poly x) y then fit := i :: !fit)
+                probe_pts;
+              Some (Array.of_list (List.rev !fit))
+        in
+        match honest with
+        | None -> None
+        | Some fit when Array.length fit < k -> None
+        | Some fit ->
+          (* Two verification subsets: a holder lying only on later words
+             is caught when the subsets disagree, triggering a per-word
+             Berlekamp–Welch decode. *)
+          let nfit = Array.length fit in
+          let sub_a = Array.sub fit 0 k in
+          let sub_b = Array.sub fit (nfit - k) k in
+          let xs_of sub = Array.map (fun i -> xs.(i)) sub in
+          let w_a = weights_at_zero (xs_of sub_a) in
+          let w_b = weights_at_zero (xs_of sub_b) in
+          let same_subsets = nfit = k in
+          let out = Array.make words F.zero in
+          let ok = ref true in
+          for w = 0 to words - 1 do
+            if !ok then begin
+              let vals_of sub = Array.map (fun i -> vs.(i).(w)) sub in
+              let va = dot w_a (vals_of sub_a) in
+              let agreed =
+                same_subsets || F.equal va (dot w_b (vals_of sub_b))
+              in
+              if agreed then out.(w) <- va
+              else begin
+                let pts = Array.map2 (fun x v -> (point x, v.(w))) xs vs in
+                match best_codeword ~threshold pts with
+                | Some poly -> out.(w) <- P.eval poly F.zero
+                | None -> ok := false
+              end
+            end
+          done;
+          if !ok then Some out else None
+      end
+    end
+end

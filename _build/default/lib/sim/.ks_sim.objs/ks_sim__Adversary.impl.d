@@ -1,0 +1,1 @@
+lib/sim/adversary.ml: Array Ks_stdx List Stdlib Types

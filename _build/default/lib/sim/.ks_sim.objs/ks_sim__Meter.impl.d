@@ -1,0 +1,1 @@
+lib/sim/meter.ml: Array List Stdlib

@@ -1,0 +1,1 @@
+lib/sim/net.ml: Array Ks_stdx List Meter Types

@@ -1,0 +1,1 @@
+lib/sim/net.mli: Ks_stdx Meter Types

@@ -1,0 +1,52 @@
+open Types
+
+let uniform_random_set rng ~n ~budget =
+  Array.to_list (Ks_stdx.Prng.sample_without_replacement rng ~n ~k:budget)
+
+let make ?(name = "custom") ?initial_corruptions ?adapt ?act ?on_corrupt () =
+  {
+    name;
+    initial_corruptions =
+      (match initial_corruptions with
+       | Some f -> f
+       | None -> fun _rng ~n:_ ~budget:_ -> []);
+    adapt = (match adapt with Some f -> f | None -> fun _view -> []);
+    act = (match act with Some f -> f | None -> fun _view -> []);
+    on_corrupt = (match on_corrupt with Some f -> f | None -> fun _p -> ());
+  }
+
+(* [none] and [crash_random] are written as literal records rather than
+   via [make] so they generalise (the value restriction would otherwise
+   pin their message type). *)
+let none =
+  {
+    name = "none";
+    initial_corruptions = (fun _rng ~n:_ ~budget:_ -> []);
+    adapt = (fun _view -> []);
+    act = (fun _view -> []);
+    on_corrupt = (fun _p -> ());
+  }
+
+let crash_random =
+  {
+    none with
+    name = "crash-random";
+    initial_corruptions = (fun rng ~n ~budget -> uniform_random_set rng ~n ~budget);
+  }
+
+let creeping_crash ~per_round =
+  make ~name:"creeping-crash"
+    ~adapt:(fun view ->
+      let want = Stdlib.min per_round view.view_budget_left in
+      let rec pick acc k =
+        if k = 0 then acc
+        else begin
+          let p = Ks_stdx.Prng.int view.view_rng view.view_n in
+          if view.view_is_corrupt p || List.mem p acc then pick acc k
+          else pick (p :: acc) (k - 1)
+        end
+      in
+      if want <= 0 then [] else pick [] want)
+    ()
+
+let with_name name strategy = { strategy with name }

@@ -1,0 +1,135 @@
+module Prng = Ks_stdx.Prng
+open Types
+
+type 'msg t = {
+  size : int;
+  budget : int;
+  corrupt : bool array;
+  mutable corrupt_order : proc list; (* newest first *)
+  mutable corrupt_count : int;
+  meter : Meter.t;
+  strategy : 'msg strategy;
+  engine_rng : Prng.t;
+  adversary_rng : Prng.t;
+  proc_seed : Prng.t;
+  proc_rngs : Prng.t option array;
+  msg_bits : 'msg -> int;
+  mutable round : int;
+}
+
+let create ~seed ~n ~budget ~msg_bits ~strategy =
+  if n <= 0 then invalid_arg "Net.create: n must be positive";
+  if budget < 0 || budget >= n then invalid_arg "Net.create: budget out of range";
+  let root = Prng.create seed in
+  let t =
+    {
+      size = n;
+      budget;
+      corrupt = Array.make n false;
+      corrupt_order = [];
+      corrupt_count = 0;
+      meter = Meter.create ~n;
+      strategy;
+      engine_rng = Prng.split root;
+      adversary_rng = Prng.split root;
+      proc_seed = Prng.split root;
+      proc_rngs = Array.make n None;
+      msg_bits;
+      round = 0;
+    }
+  in
+  let initial =
+    strategy.initial_corruptions t.adversary_rng ~n ~budget
+  in
+  List.iter
+    (fun p ->
+      if p >= 0 && p < n && (not t.corrupt.(p)) && t.corrupt_count < budget then begin
+        t.corrupt.(p) <- true;
+        t.corrupt_order <- p :: t.corrupt_order;
+        t.corrupt_count <- t.corrupt_count + 1;
+        strategy.on_corrupt p
+      end)
+    initial;
+  t
+
+let n t = t.size
+let round t = t.round
+let meter t = t.meter
+let is_corrupt t p = t.corrupt.(p)
+let corrupt_count t = t.corrupt_count
+let budget t = t.budget
+
+let good_procs t =
+  let rec go p acc = if p < 0 then acc else go (p - 1) (if t.corrupt.(p) then acc else p :: acc) in
+  go (t.size - 1) []
+
+let rng t = t.engine_rng
+
+(* Memoized so repeated calls return the same advancing stream — a fresh
+   stream per call would replay the same randomness across independent
+   secret-sharing polynomials. *)
+let proc_rng t p =
+  match t.proc_rngs.(p) with
+  | Some rng -> rng
+  | None ->
+    let rng = Prng.split_at t.proc_seed p in
+    t.proc_rngs.(p) <- Some rng;
+    rng
+
+let apply_corruptions t procs =
+  List.iter
+    (fun p ->
+      if p >= 0 && p < t.size && (not t.corrupt.(p)) && t.corrupt_count < t.budget
+      then begin
+        t.corrupt.(p) <- true;
+        t.corrupt_order <- p :: t.corrupt_order;
+        t.corrupt_count <- t.corrupt_count + 1;
+        t.strategy.on_corrupt p
+      end)
+    procs
+
+let corrupt_now t procs = apply_corruptions t procs
+
+let make_view t good_outgoing =
+  {
+    view_round = t.round;
+    view_n = t.size;
+    view_is_corrupt = (fun p -> t.corrupt.(p));
+    view_corrupt = List.rev t.corrupt_order;
+    view_budget_left = t.budget - t.corrupt_count;
+    view_visible = List.filter (fun e -> t.corrupt.(e.dst)) good_outgoing;
+    view_rng = t.adversary_rng;
+  }
+
+let exchange t outgoing =
+  (* Only good processors' messages enter the network from the protocol. *)
+  let good_outgoing = List.filter (fun e -> not t.corrupt.(e.src)) outgoing in
+  (* Adaptive corruption: the adversary inspects what it may see, then
+     takes over more processors before delivery. *)
+  let requested = t.strategy.adapt (make_view t good_outgoing) in
+  apply_corruptions t requested;
+  (* Messages from freshly corrupted processors are reclaimed. *)
+  let good_outgoing = List.filter (fun e -> not t.corrupt.(e.src)) good_outgoing in
+  (* Rushing: the adversary reads traffic addressed to its processors and
+     only now decides what the corrupted processors send. *)
+  let adversarial =
+    List.filter (fun e -> t.corrupt.(e.src) && e.dst >= 0 && e.dst < t.size)
+      (t.strategy.act (make_view t good_outgoing))
+  in
+  (* Accounting: good senders pay for their bits. *)
+  List.iter (fun e -> Meter.charge_send t.meter e.src ~bits:(t.msg_bits e.payload))
+    good_outgoing;
+  (* Delivery. *)
+  let inboxes = Array.make t.size [] in
+  let deliver e =
+    inboxes.(e.dst) <- e :: inboxes.(e.dst);
+    if not t.corrupt.(e.dst) then
+      Meter.charge_recv t.meter e.dst ~bits:(t.msg_bits e.payload)
+  in
+  List.iter deliver good_outgoing;
+  List.iter deliver adversarial;
+  (* Reverse so good messages appear first, in send order. *)
+  let inboxes = Array.map List.rev inboxes in
+  Meter.tick_round t.meter;
+  t.round <- t.round + 1;
+  inboxes

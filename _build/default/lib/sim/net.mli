@@ -1,0 +1,62 @@
+(** The synchronous network with an adaptive rushing adversary.
+
+    One [exchange] call is one communication round of the model:
+
+    + the protocol hands over the messages its {e good} processors wish to
+      send (anything claiming a corrupted source is discarded — the
+      adversary speaks for those through its strategy);
+    + the adversary, seeing only traffic addressed to processors it
+      already controls, may adaptively corrupt more processors (budget
+      permitting) — messages just produced by a freshly corrupted
+      processor are reclaimed by the adversary (it got there before
+      delivery);
+    + the adversary then ("rushing") composes the corrupted processors'
+      outgoing messages, with no bound on their number (flooding);
+    + everything is delivered simultaneously; good processors' sends are
+      charged to the meter.
+
+    The network never duplicates, drops or reorders good processors'
+    messages and never forges a good source address. *)
+
+type 'msg t
+
+(** [create ~seed ~n ~budget ~msg_bits ~strategy] — a fresh network of
+    [n] processors; the adversary may corrupt at most [budget] of them in
+    total, and [msg_bits] prices each payload for the meter. *)
+val create :
+  seed:int64 ->
+  n:int ->
+  budget:int ->
+  msg_bits:('msg -> int) ->
+  strategy:'msg Types.strategy ->
+  'msg t
+
+val n : 'msg t -> int
+val round : 'msg t -> int
+val meter : 'msg t -> Meter.t
+val is_corrupt : 'msg t -> Types.proc -> bool
+val corrupt_count : 'msg t -> int
+val budget : 'msg t -> int
+
+(** Good (never corrupted) processors, ascending. *)
+val good_procs : 'msg t -> Types.proc list
+
+(** The engine RNG — protocols draw their private coins from per-processor
+    streams split off this one, see [proc_rng]. *)
+val rng : 'msg t -> Ks_stdx.Prng.t
+
+(** [proc_rng t p] — processor [p]'s private coin stream (deterministic in
+    the seed, independent across processors). *)
+val proc_rng : 'msg t -> Types.proc -> Ks_stdx.Prng.t
+
+(** [exchange t outgoing] executes one round and returns the inbox of
+    every processor (index = destination).  Within an inbox, messages
+    from good senders come first in sender order, then the adversary's,
+    reflecting its control over intra-round ordering being irrelevant to
+    our aggregate-style protocols. *)
+val exchange : 'msg t -> 'msg Types.envelope list -> 'msg Types.envelope list array
+
+(** [corrupt_now t procs] lets a harness force corruptions outside the
+    strategy (used by failure-injection tests); still bounded by the
+    budget and reported through [on_corrupt]. *)
+val corrupt_now : 'msg t -> Types.proc list -> unit

@@ -1,0 +1,51 @@
+(** Shared vocabulary of the simulator.
+
+    The model is the paper's (§1.1): [n] processors, synchronous rounds,
+    private channels (the adversary reads only traffic touching a
+    corrupted endpoint), a rushing adaptive adversary that sees the
+    messages addressed to its processors before choosing its own, corrupts
+    processors at any time up to a budget, and may flood (send any number
+    of messages from corrupted processors). *)
+
+type proc = int
+(** Processors are numbered [0 .. n-1]. *)
+
+type 'msg envelope = { src : proc; dst : proc; payload : 'msg }
+(** One point-to-point message.  The recipient always learns [src]
+    faithfully (the model says sender identity is known on direct
+    channels), so the engine never lets the adversary spoof a good
+    processor's identity. *)
+
+type 'msg view = {
+  view_round : int;
+  view_n : int;
+  view_is_corrupt : proc -> bool;
+  view_corrupt : proc list;  (** corrupted processors, oldest first *)
+  view_budget_left : int;
+  view_visible : 'msg envelope list;
+      (** this round's messages from good processors whose destination is
+          corrupted — all the adversary is entitled to read under private
+          channels (rushing: it reads them before acting) *)
+  view_rng : Ks_stdx.Prng.t;
+}
+(** What an adversary strategy sees when deciding corruptions and
+    messages.  Strategies needing the *private state* of processors they
+    corrupt capture the protocol's state structures in their closures;
+    the engine guarantees such access is legitimate only after
+    corruption via the [on_corrupt] notification. *)
+
+type 'msg strategy = {
+  name : string;
+  initial_corruptions : Ks_stdx.Prng.t -> n:int -> budget:int -> proc list;
+      (** corruptions applied before round 0 *)
+  adapt : 'msg view -> proc list;
+      (** additional corruptions requested this round, applied before
+          delivery; silently truncated to the remaining budget *)
+  act : 'msg view -> 'msg envelope list;
+      (** the corrupted processors' outgoing messages for this round,
+          chosen after [adapt] and after reading [view_visible]
+          (rushing); envelopes whose [src] is not corrupted are dropped *)
+  on_corrupt : proc -> unit;
+      (** notification that a processor just fell — protocol-specific
+          strategies use it to snapshot the victim's secrets *)
+}

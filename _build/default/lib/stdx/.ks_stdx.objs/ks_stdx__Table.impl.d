@@ -1,0 +1,1 @@
+lib/stdx/table.ml: Buffer List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/stdx/wire.ml: Array Buffer Bytes Char

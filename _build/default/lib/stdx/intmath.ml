@@ -1,0 +1,41 @@
+let ceil_log2 n =
+  if n <= 0 then invalid_arg "Intmath.ceil_log2: non-positive";
+  let rec go k pow = if pow >= n then k else go (k + 1) (pow * 2) in
+  go 0 1
+
+let floor_log2 n =
+  if n <= 0 then invalid_arg "Intmath.floor_log2: non-positive";
+  let rec go k pow = if pow * 2 > n then k else go (k + 1) (pow * 2) in
+  go 0 1
+
+let pow base e =
+  if e < 0 then invalid_arg "Intmath.pow: negative exponent";
+  let rec go acc base e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * base) (base * base) (e asr 1)
+    else go acc (base * base) (e asr 1)
+  in
+  go 1 base e
+
+let cdiv a b =
+  if b <= 0 then invalid_arg "Intmath.cdiv: non-positive divisor";
+  if a < 0 then invalid_arg "Intmath.cdiv: negative dividend";
+  (a + b - 1) / b
+
+let bits_needed n = if n <= 2 then 1 else ceil_log2 n
+
+let isqrt n =
+  if n < 0 then invalid_arg "Intmath.isqrt: negative";
+  if n = 0 then 0
+  else begin
+    let x = ref (int_of_float (sqrt (float_of_int n))) in
+    while !x * !x > n do
+      decr x
+    done;
+    while (!x + 1) * (!x + 1) <= n do
+      incr x
+    done;
+    !x
+  end
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x

@@ -1,0 +1,25 @@
+(** Small integer-math helpers used when sizing protocol parameters
+    (node sizes, degrees, bit widths) from the paper's formulas. *)
+
+(** [ceil_log2 n] is the least [k] with [2^k >= n]; [ceil_log2 1 = 0].
+    Raises [Invalid_argument] for [n <= 0]. *)
+val ceil_log2 : int -> int
+
+(** [floor_log2 n] is the greatest [k] with [2^k <= n]. *)
+val floor_log2 : int -> int
+
+(** [pow base e] — integer exponentiation; raises on negative exponent. *)
+val pow : int -> int -> int
+
+(** [cdiv a b] — ceiling division for non-negative [a], positive [b]. *)
+val cdiv : int -> int -> int
+
+(** [bits_needed n] — number of bits to encode a value in [0, n); at
+    least 1. *)
+val bits_needed : int -> int
+
+(** [isqrt n] — integer square root (floor). *)
+val isqrt : int -> int
+
+(** [clamp ~lo ~hi x]. *)
+val clamp : lo:int -> hi:int -> int -> int

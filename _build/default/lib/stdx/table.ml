@@ -1,0 +1,66 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let blanks = String.make (width - n) ' ' in
+    match align with Left -> s ^ blanks | Right -> blanks ^ s
+  end
+
+let render ~title ~headers ?aligns rows =
+  let ncols = List.length headers in
+  List.iteri
+    (fun i row ->
+      if List.length row <> ncols then
+        invalid_arg
+          (Printf.sprintf "Table.render: row %d has %d cells, expected %d" i
+             (List.length row) ncols))
+    rows;
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> a
+    | Some _ -> invalid_arg "Table.render: aligns length mismatch"
+    | None -> List.map (fun _ -> Left) headers
+  in
+  let widths =
+    List.mapi
+      (fun c h ->
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (String.length (List.nth row c)))
+          (String.length h) rows)
+      headers
+  in
+  let line cells =
+    let padded =
+      List.map2 (fun (a, w) s -> pad a w s) (List.combine aligns widths) cells
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("\n== " ^ title ^ " ==\n");
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (line headers ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) rows;
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.contents buf
+
+let print ~title ~headers ?aligns rows =
+  print_string (render ~title ~headers ?aligns rows);
+  flush stdout
+
+let fint = string_of_int
+
+let ffloat ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let fpct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let fbits b =
+  if b < 1e3 then Printf.sprintf "%.0f b" b
+  else if b < 1e6 then Printf.sprintf "%.1f Kb" (b /. 1e3)
+  else if b < 1e9 then Printf.sprintf "%.2f Mb" (b /. 1e6)
+  else Printf.sprintf "%.2f Gb" (b /. 1e9)

@@ -1,0 +1,31 @@
+(** Column-aligned plain-text tables.
+
+    The benchmark harness prints one table per reproduced experiment; this
+    module keeps the formatting in one place so every table in
+    EXPERIMENTS.md renders identically. *)
+
+type align = Left | Right
+
+(** [render ~title ~headers ?aligns rows] lays out [rows] under [headers]
+    with per-column alignment (default: [Right] for cells that parse as
+    numbers' columns is not inferred — default is [Left] for all).
+    Raises [Invalid_argument] if a row's width differs from [headers]. *)
+val render :
+  title:string -> headers:string list -> ?aligns:align list ->
+  string list list -> string
+
+(** [print] is [render] followed by [print_string] and a flush. *)
+val print :
+  title:string -> headers:string list -> ?aligns:align list ->
+  string list list -> unit
+
+(** Formatting helpers shared by the experiment tables. *)
+
+val fint : int -> string
+val ffloat : ?decimals:int -> float -> string
+
+(** [fpct x] renders a proportion in [0,1] as a percentage. *)
+val fpct : float -> string
+
+(** [fbits b] renders a bit count with a unit suffix (b, Kb, Mb, Gb). *)
+val fbits : float -> string

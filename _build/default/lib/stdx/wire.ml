@@ -1,0 +1,92 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+
+  let rec varint t v =
+    if v < 0 then invalid_arg "Wire.Writer.varint: negative";
+    if v < 0x80 then Buffer.add_char t (Char.chr v)
+    else begin
+      Buffer.add_char t (Char.chr (0x80 lor (v land 0x7F)));
+      varint t (v lsr 7)
+    end
+
+  let byte t v =
+    if v < 0 || v > 0xFF then invalid_arg "Wire.Writer.byte: out of range";
+    Buffer.add_char t (Char.chr v)
+
+  let bool t b = byte t (if b then 1 else 0)
+
+  let u32 t v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Wire.Writer.u32: out of range";
+    byte t (v land 0xFF);
+    byte t ((v lsr 8) land 0xFF);
+    byte t ((v lsr 16) land 0xFF);
+    byte t ((v lsr 24) land 0xFF)
+
+  let bytes t b =
+    varint t (Bytes.length b);
+    Buffer.add_bytes t b
+
+  let word_array t a =
+    varint t (Array.length a);
+    Array.iter (varint t) a
+
+  let contents t = Buffer.to_bytes t
+  let length t = Buffer.length t
+end
+
+module Reader = struct
+  type t = { data : Bytes.t; mutable pos : int }
+
+  exception Truncated
+
+  let of_bytes data = { data; pos = 0 }
+
+  let byte t =
+    if t.pos >= Bytes.length t.data then raise Truncated;
+    let v = Bytes.get_uint8 t.data t.pos in
+    t.pos <- t.pos + 1;
+    v
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 62 then raise Truncated;
+      let b = byte t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let bool t =
+    match byte t with
+    | 0 -> false
+    | 1 -> true
+    | _ -> raise Truncated
+
+  let u32 t =
+    let a = byte t in
+    let b = byte t in
+    let c = byte t in
+    let d = byte t in
+    a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+  let bytes t =
+    let len = varint t in
+    if len < 0 || t.pos + len > Bytes.length t.data then raise Truncated;
+    let b = Bytes.sub t.data t.pos len in
+    t.pos <- t.pos + len;
+    b
+
+  let word_array t =
+    let len = varint t in
+    if len < 0 || len > Bytes.length t.data - t.pos then raise Truncated;
+    Array.init len (fun _ -> varint t)
+
+  let at_end t = t.pos = Bytes.length t.data
+end
+
+let encoded_bits f =
+  let w = Writer.create () in
+  f w;
+  8 * Writer.length w

@@ -1,0 +1,58 @@
+(** Minimal binary wire format: length-delimited, varint-based encoding
+    used to ground the simulator's bit accounting in real encoded sizes
+    (a message is charged 8 × its encoded byte length plus the physical
+    header, instead of a hand-estimated field sum).
+
+    The encoding is deliberately boring: LEB128 varints for integers,
+    length-prefixed byte strings, fixed tags chosen by the caller.  No
+    framing beyond what the caller writes — the simulator's channels are
+    reliable and message-oriented. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  (** [varint w v] — LEB128, non-negative values only (raises on
+      negative). *)
+  val varint : t -> int -> unit
+
+  (** [byte w v] — one byte, [0, 255]. *)
+  val byte : t -> int -> unit
+
+  (** [bool w b] — one byte. *)
+  val bool : t -> bool -> unit
+
+  (** [u32 w v] — fixed four bytes, little endian, [0, 2^32). *)
+  val u32 : t -> int -> unit
+
+  (** [bytes w b] — length-prefixed blob. *)
+  val bytes : t -> Bytes.t -> unit
+
+  (** [word_array w a] — length-prefixed sequence of varints. *)
+  val word_array : t -> int array -> unit
+
+  val contents : t -> Bytes.t
+  val length : t -> int
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+  (** Raised when reading past the end or on malformed input. *)
+
+  val of_bytes : Bytes.t -> t
+  val varint : t -> int
+  val byte : t -> int
+  val bool : t -> bool
+  val u32 : t -> int
+  val bytes : t -> Bytes.t
+  val word_array : t -> int array
+
+  (** [at_end r] — all input consumed. *)
+  val at_end : t -> bool
+end
+
+(** [encoded_bits f] — 8 × the number of bytes [f] writes. *)
+val encoded_bits : (Writer.t -> unit) -> int

@@ -1,0 +1,1 @@
+lib/topology/tree.ml: Array Hashtbl Ks_sampler Ks_stdx List Stdlib

@@ -1,0 +1,194 @@
+module Prng = Ks_stdx.Prng
+module Intmath = Ks_stdx.Intmath
+
+type config = {
+  n : int;
+  q : int;
+  k1 : int;
+  growth : int;
+  up_degree : int;
+  ell_degree : int;
+}
+
+type t = {
+  cfg : config;
+  levels : int;
+  counts : int array; (* counts.(l-1) = nodes on level l *)
+  sizes : int array; (* sizes.(l-1) = members per node on level l *)
+  node_members : int array array array; (* .(l-1).(j) = procs by position *)
+  node_positions : (int, int) Hashtbl.t array array; (* proc -> position *)
+  up : int array array array; (* .(l-1).(m) = parent positions *)
+  down : int array array array; (* .(l-1).(pp) = child member positions *)
+  ell : int array array array array; (* .(l-1).(j).(m) = absolute leaf indices *)
+  ell_rev : int array array array array; (* .(l-1).(j).(leaf - lo) = positions *)
+}
+
+let leaf_range_of cfg counts ~level ~node =
+  let width = Intmath.pow cfg.q (level - 1) in
+  let lo = node * width in
+  let hi = Stdlib.min counts.(0) (lo + width) in
+  (lo, hi)
+
+let build rng cfg =
+  if cfg.n < 2 then invalid_arg "Tree.build: n too small";
+  if cfg.q < 2 then invalid_arg "Tree.build: arity must be >= 2";
+  if cfg.growth < 1 then invalid_arg "Tree.build: growth must be >= 1";
+  if cfg.k1 < 1 || cfg.k1 > cfg.n then invalid_arg "Tree.build: bad k1";
+  if cfg.up_degree < 1 || cfg.ell_degree < 1 then invalid_arg "Tree.build: bad degrees";
+  (* Level population counts: n leaf nodes, shrinking by q per level. *)
+  let counts =
+    let rec go acc m = if m = 1 then List.rev acc else go (Intmath.cdiv m cfg.q :: acc) (Intmath.cdiv m cfg.q) in
+    Array.of_list (go [ cfg.n ] cfg.n)
+  in
+  let levels = Array.length counts in
+  let sizes =
+    Array.init levels (fun i ->
+        if i = levels - 1 then cfg.n
+        else Stdlib.min cfg.n (cfg.k1 * Intmath.pow cfg.growth i))
+  in
+  (* Node membership: one sampler per level assigning a distinct multiset
+     of processors to each node; the root holds everyone. *)
+  let node_members =
+    Array.init levels (fun i ->
+        let size = sizes.(i) in
+        if size >= cfg.n then
+          Array.init counts.(i) (fun _ -> Array.init cfg.n (fun p -> p))
+        else begin
+          let sampler =
+            Ks_sampler.Sampler.create_distinct rng ~r:counts.(i) ~s:cfg.n ~d:size
+          in
+          Array.init counts.(i) (fun j ->
+              Array.copy (Ks_sampler.Sampler.eval sampler j))
+        end)
+  in
+  let node_positions =
+    Array.map
+      (Array.map (fun procs ->
+           let tbl = Hashtbl.create (2 * Array.length procs) in
+           Array.iteri (fun pos p -> Hashtbl.replace tbl p pos) procs;
+           tbl))
+      node_members
+  in
+  (* Uplinks for levels 1 .. levels-1 and their reverses.  The pattern is
+     position-based and shared by all nodes of a level: member position m
+     of any child connects to the same parent positions.  This is what
+     makes "the corresponding uplinks from each of its other children"
+     (sendDown, §3.2.3) well defined — a share dealt by position m of one
+     child comes back down to position m of every sibling. *)
+  let up = Array.make levels [||] in
+  let down = Array.make levels [||] in
+  for i = 0 to levels - 2 do
+    let parent_size = sizes.(i + 1) in
+    let d = Stdlib.min cfg.up_degree parent_size in
+    up.(i) <-
+      Array.init sizes.(i) (fun _m ->
+          Prng.sample_without_replacement rng ~n:parent_size ~k:d);
+    down.(i) <-
+      (let rev = Array.make parent_size [] in
+       Array.iteri
+         (fun m targets -> Array.iter (fun pp -> rev.(pp) <- m :: rev.(pp)) targets)
+         up.(i);
+       Array.map (fun l -> Array.of_list (List.rev l)) rev)
+  done;
+  (* ℓ-links for levels >= 2, and their reverses. *)
+  let ell = Array.make levels [||] in
+  let ell_rev = Array.make levels [||] in
+  for i = 1 to levels - 1 do
+    let level = i + 1 in
+    ell.(i) <-
+      Array.init counts.(i) (fun j ->
+          let lo, hi = leaf_range_of cfg counts ~level ~node:j in
+          let nleaves = hi - lo in
+          let d = Stdlib.min cfg.ell_degree nleaves in
+          Array.init sizes.(i) (fun _m ->
+              Array.map (fun rel -> lo + rel)
+                (Prng.sample_without_replacement rng ~n:nleaves ~k:d)));
+    ell_rev.(i) <-
+      Array.init counts.(i) (fun j ->
+          let lo, hi = leaf_range_of cfg counts ~level ~node:j in
+          let rev = Array.make (hi - lo) [] in
+          Array.iteri
+            (fun m leaves ->
+              Array.iter (fun leaf -> rev.(leaf - lo) <- m :: rev.(leaf - lo)) leaves)
+            ell.(i).(j);
+          Array.map (fun l -> Array.of_list (List.rev l)) rev)
+  done;
+  { cfg; levels; counts; sizes; node_members; node_positions; up; down; ell; ell_rev }
+
+let config t = t.cfg
+let n t = t.cfg.n
+let levels t = t.levels
+
+let check_level t level =
+  if level < 1 || level > t.levels then invalid_arg "Tree: level out of range"
+
+let node_count t ~level =
+  check_level t level;
+  t.counts.(level - 1)
+
+let node_size t ~level =
+  check_level t level;
+  t.sizes.(level - 1)
+
+let members t ~level ~node =
+  check_level t level;
+  t.node_members.(level - 1).(node)
+
+let position_of t ~level ~node p =
+  check_level t level;
+  Hashtbl.find_opt t.node_positions.(level - 1).(node) p
+
+let parent t ~level ~node =
+  if level >= t.levels then invalid_arg "Tree.parent: root has no parent";
+  node / t.cfg.q
+
+let children t ~level ~node =
+  check_level t level;
+  if level = 1 then []
+  else begin
+    let lo = node * t.cfg.q in
+    let hi = Stdlib.min t.counts.(level - 2) (lo + t.cfg.q) in
+    List.init (hi - lo) (fun i -> lo + i)
+  end
+
+let leaf_range t ~level ~node =
+  check_level t level;
+  leaf_range_of t.cfg t.counts ~level ~node
+
+let leaf_ancestor t ~leaf ~level =
+  check_level t level;
+  leaf / Intmath.pow t.cfg.q (level - 1)
+
+let uplinks t ~level ~member =
+  if level >= t.levels then invalid_arg "Tree.uplinks: root has no uplinks";
+  t.up.(level - 1).(member)
+
+let downlinks t ~level ~parent_member =
+  if level >= t.levels then invalid_arg "Tree.downlinks: root has no parent";
+  t.down.(level - 1).(parent_member)
+
+let ell_links t ~level ~node ~member =
+  check_level t level;
+  if level < 2 then invalid_arg "Tree.ell_links: undefined on level 1";
+  t.ell.(level - 1).(node).(member)
+
+let ell_sources t ~level ~node ~leaf =
+  check_level t level;
+  if level < 2 then invalid_arg "Tree.ell_sources: undefined on level 1";
+  let lo, hi = leaf_range t ~level ~node in
+  if leaf < lo || leaf >= hi then invalid_arg "Tree.ell_sources: leaf outside subtree";
+  t.ell_rev.(level - 1).(node).(leaf - lo)
+
+let is_good_node t ~corrupt ~level ~node ~threshold =
+  let procs = members t ~level ~node in
+  let good =
+    Array.fold_left (fun acc p -> if corrupt p then acc else acc + 1) 0 procs
+  in
+  float_of_int good >= threshold *. float_of_int (Array.length procs)
+
+let appearances t p =
+  let count = ref 0 in
+  Array.iter
+    (Array.iter (fun tbl -> if Hashtbl.mem tbl p then incr count))
+    t.node_positions;
+  !count

@@ -1,0 +1,103 @@
+(** The sparse q-ary node tree of §3.2.2.
+
+    Levels are numbered 1 (leaves) to [levels] (root).  Level 1 has [n]
+    nodes — node [i] is where processor [i] initially secret-shares its
+    candidate array — each populated with [k1] processors chosen by a
+    sampler.  Going up, node counts shrink by a factor [q] and node sizes
+    grow by [q] (clamped at [n]); the root contains every processor.
+
+    Three families of edges (all sampler-chosen):
+    - {b uplinks} connect each member of a child node to [up_degree]
+      members of its parent — shares of secrets climb these;
+    - {b ℓ-links} connect each member of a level-ℓ node directly to a
+      polylog set of its level-1 descendants — opened values come back up
+      these in one hop ([sendOpen]);
+    - intra-node graphs for running agreement inside a node are built
+      separately with {!Graph.random_regular}.
+
+    Everything is precomputed at [build] time from one RNG, so a seed
+    fully determines the network. *)
+
+type t
+
+type config = {
+  n : int;  (** number of processors *)
+  q : int;  (** tree arity, >= 2 *)
+  k1 : int;  (** leaf node size *)
+  growth : int;  (** node-size growth per level: size(ℓ) = k1·growth^(ℓ-1),
+                     clamped at [n]; the paper uses growth = q, the
+                     practical profile a smaller constant.  The root node
+                     always contains all [n] processors (step 3 of
+                     Algorithm 2 runs agreement among everyone). *)
+  up_degree : int;  (** uplinks per member (clamped to parent size) *)
+  ell_degree : int;  (** ℓ-links per member (clamped to #descendant leaves) *)
+}
+
+val build : Ks_stdx.Prng.t -> config -> t
+
+val config : t -> config
+val n : t -> int
+
+(** Number of levels; the root is level [levels t]. *)
+val levels : t -> int
+
+(** [node_count t ~level] — nodes on the level. *)
+val node_count : t -> level:int -> int
+
+(** [node_size t ~level] — members per node on the level. *)
+val node_size : t -> level:int -> int
+
+(** [members t ~level ~node] — the member processors, by position.  Owned
+    by the tree; do not mutate. *)
+val members : t -> level:int -> node:int -> int array
+
+(** [position_of t ~level ~node p] — position of processor [p] in the
+    node's member array, if present. *)
+val position_of : t -> level:int -> node:int -> int -> int option
+
+(** [parent t ~level ~node] — parent node index on [level + 1]; raises if
+    [level = levels t]. *)
+val parent : t -> level:int -> node:int -> int
+
+(** [children t ~level ~node] — child node indices on [level - 1]
+    (empty for level 1). *)
+val children : t -> level:int -> node:int -> int list
+
+(** [leaf_range t ~level ~node] — the half-open range [lo, hi) of level-1
+    node indices in this node's subtree. *)
+val leaf_range : t -> level:int -> node:int -> int * int
+
+(** [leaf_ancestor t ~leaf ~level] — index of the level-[level] ancestor
+    of leaf node [leaf]. *)
+val leaf_ancestor : t -> leaf:int -> level:int -> int
+
+(** [uplinks t ~level ~member] — parent-node member positions that member
+    position [member] of any level-[level] node shares up to (defined for
+    level < levels).  The pattern is shared by all nodes of the level so
+    that a share dealt by position [m] of one child returns, during
+    [sendDown], to position [m] of every sibling ("the corresponding
+    uplinks", §3.2.3). *)
+val uplinks : t -> level:int -> member:int -> int array
+
+(** [downlinks t ~level ~parent_member] — member positions of any
+    level-[level] child reachable down from position [parent_member] of
+    its parent: the reverse of [uplinks]. *)
+val downlinks : t -> level:int -> parent_member:int -> int array
+
+(** [ell_links t ~level ~node ~member] — absolute level-1 node indices
+    this member listens to during [sendOpen] (defined for level >= 2). *)
+val ell_links : t -> level:int -> node:int -> member:int -> int array
+
+(** [ell_sources t ~level ~node ~leaf] — member positions of (level, node)
+    that have an ℓ-link to absolute leaf node [leaf]. *)
+val ell_sources : t -> level:int -> node:int -> leaf:int -> int array
+
+(** [is_good_node t ~corrupt ~level ~node ~threshold] — true if the
+    fraction of non-corrupt members is at least [threshold] (Definition 3
+    uses 2/3 + ε/2). *)
+val is_good_node :
+  t -> corrupt:(int -> bool) -> level:int -> node:int -> threshold:float -> bool
+
+(** [appearances t p] — in how many nodes (across all levels) processor
+    [p] appears; the paper needs this polylogarithmic. *)
+val appearances : t -> int -> int

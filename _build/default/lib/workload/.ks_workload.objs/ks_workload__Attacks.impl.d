@@ -1,0 +1,1 @@
+lib/workload/attacks.ml: Array Ks_core Ks_sim Ks_stdx Ks_topology List Stdlib

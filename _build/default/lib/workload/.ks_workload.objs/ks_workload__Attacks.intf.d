@@ -1,0 +1,1 @@
+lib/workload/attacks.mli: Ks_core Ks_sim Ks_topology

@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Array Attacks Float Fun Inputs Int64 Ks_async Ks_baselines Ks_core Ks_field Ks_sampler Ks_shamir Ks_sim Ks_stdx Ks_topology List Printf Stdlib

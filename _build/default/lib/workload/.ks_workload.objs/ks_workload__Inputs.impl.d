@@ -1,0 +1,1 @@
+lib/workload/inputs.ml: Array Ks_stdx Printf

@@ -1,0 +1,1 @@
+lib/workload/inputs.mli: Ks_stdx

@@ -1,0 +1,21 @@
+type t = All_zero | All_one | Random | Split | Minority_one of float
+
+let name = function
+  | All_zero -> "all-0"
+  | All_one -> "all-1"
+  | Random -> "random"
+  | Split -> "split"
+  | Minority_one f -> Printf.sprintf "minority-%.0f%%" (100.0 *. f)
+
+let generate rng ~n = function
+  | All_zero -> Array.make n false
+  | All_one -> Array.make n true
+  | Random -> Array.init n (fun _ -> Ks_stdx.Prng.bool rng)
+  | Split -> Array.init n (fun i -> i mod 2 = 0)
+  | Minority_one f ->
+    let ones = int_of_float (f *. float_of_int n) in
+    let a = Array.init n (fun i -> i < ones) in
+    Ks_stdx.Prng.shuffle rng a;
+    a
+
+let all = [ All_zero; All_one; Random; Split; Minority_one 0.25 ]

@@ -1,0 +1,16 @@
+(** Input-bit assignments for agreement runs.
+
+    The adversary chooses every processor's input in the model (§1.1), so
+    the interesting workloads are the hardest splits, not just uniform
+    noise. *)
+
+type t =
+  | All_zero
+  | All_one
+  | Random  (** iid fair bits *)
+  | Split  (** alternating: the adversarially balanced worst case *)
+  | Minority_one of float  (** the given fraction starts with 1 *)
+
+val name : t -> string
+val generate : Ks_stdx.Prng.t -> n:int -> t -> bool array
+val all : t list

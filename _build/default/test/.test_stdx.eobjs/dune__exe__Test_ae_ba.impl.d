@@ -1,0 +1,1 @@
+test/test_ae_ba.ml: Alcotest Array Hashtbl Ks_core Ks_sim Ks_stdx Ks_topology List Option Printf Stdlib

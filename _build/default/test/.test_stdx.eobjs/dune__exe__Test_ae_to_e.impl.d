@@ -1,0 +1,1 @@
+test/test_ae_to_e.ml: Alcotest Array Bytes Ks_core Ks_sim Ks_stdx List Printf

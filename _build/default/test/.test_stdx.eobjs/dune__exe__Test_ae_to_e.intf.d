@@ -1,0 +1,1 @@
+test/test_ae_to_e.mli:

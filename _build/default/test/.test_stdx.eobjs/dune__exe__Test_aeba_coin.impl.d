@@ -1,0 +1,1 @@
+test/test_aeba_coin.ml: Alcotest Array Ks_core Ks_sim Ks_stdx Ks_topology List Printf

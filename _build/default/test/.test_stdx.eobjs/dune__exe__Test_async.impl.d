@@ -1,0 +1,1 @@
+test/test_async.ml: Alcotest Array Int64 Ks_async Ks_sim Ks_stdx List Printf

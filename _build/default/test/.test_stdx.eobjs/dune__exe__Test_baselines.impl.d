@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Ks_baselines Ks_core Ks_sim Ks_stdx

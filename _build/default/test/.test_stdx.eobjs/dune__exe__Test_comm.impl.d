@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Array Bytes Ks_core Ks_sim Ks_stdx Ks_topology List Printf Stdlib

@@ -1,0 +1,1 @@
+test/test_election.ml: Alcotest Array Int64 Ks_core Ks_stdx Ks_topology QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_everywhere.ml: Alcotest Array Ks_core Ks_sim Ks_stdx Ks_topology Ks_workload List Stdlib

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Hashtbl Ks_core Ks_sim Ks_stdx Ks_topology Ks_workload List Printf

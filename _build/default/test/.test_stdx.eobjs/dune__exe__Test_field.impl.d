@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest Array Int64 Ks_field Ks_stdx List QCheck QCheck_alcotest Stdlib

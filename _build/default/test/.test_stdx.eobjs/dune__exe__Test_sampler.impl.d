@@ -1,0 +1,1 @@
+test/test_sampler.ml: Alcotest Array Int64 Ks_sampler Ks_stdx Printf QCheck QCheck_alcotest

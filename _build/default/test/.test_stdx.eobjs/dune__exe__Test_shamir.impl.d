@@ -1,0 +1,1 @@
+test/test_shamir.ml: Alcotest Array Float Int64 Ks_field Ks_shamir Ks_stdx List Printf QCheck QCheck_alcotest Stdlib

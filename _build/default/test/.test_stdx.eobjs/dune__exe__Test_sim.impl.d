@@ -1,0 +1,1 @@
+test/test_sim.ml: Adversary Alcotest Array Engine Ks_sim Ks_stdx List Meter Net Types

@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Array Bytes Hashtbl Int64 Ks_stdx QCheck QCheck_alcotest String

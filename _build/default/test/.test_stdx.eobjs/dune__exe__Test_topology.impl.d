@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Ks_stdx Ks_topology List QCheck QCheck_alcotest

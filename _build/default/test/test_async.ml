@@ -1,0 +1,143 @@
+module Anet = Ks_async.Async_net
+module Aba = Ks_async.Async_ba
+module Prng = Ks_stdx.Prng
+open Ks_sim.Types
+
+let envelope src dst payload = { src; dst; payload }
+
+let test_net_delivers_everything () =
+  let net =
+    Anet.create ~seed:1L ~n:4 ~corrupt:[] ~msg_bits:(fun (_ : int) -> 8)
+      ~scheduler:Anet.Fair
+  in
+  let seen = ref [] in
+  Anet.send net [ envelope 0 1 10; envelope 1 2 20; envelope 2 3 30 ];
+  let events =
+    Anet.run net
+      ~handler:(fun ~me e ->
+        seen := (me, e.payload) :: !seen;
+        [])
+      ~max_events:100
+  in
+  Alcotest.(check int) "three deliveries" 3 events;
+  Alcotest.(check int) "pool drained" 0 (Anet.pending net);
+  Alcotest.(check bool) "all arrived" true
+    (List.sort compare !seen = [ (1, 10); (2, 20); (3, 30) ])
+
+let test_net_handler_cascade () =
+  (* Each delivery to 0 spawns a message to 1, which spawns nothing. *)
+  let net =
+    Anet.create ~seed:2L ~n:2 ~corrupt:[] ~msg_bits:(fun (_ : int) -> 8)
+      ~scheduler:Anet.Fair
+  in
+  Anet.send net [ envelope 1 0 5 ];
+  let events =
+    Anet.run net
+      ~handler:(fun ~me e -> if me = 0 then [ envelope 0 1 (e.payload + 1) ] else [])
+      ~max_events:100
+  in
+  Alcotest.(check int) "two events" 2 events
+
+let test_net_meter_good_only () =
+  let net =
+    Anet.create ~seed:3L ~n:4 ~corrupt:[ 2 ] ~msg_bits:(fun (_ : int) -> 8)
+      ~scheduler:Anet.Fair
+  in
+  Anet.send net [ envelope 0 1 1; envelope 2 1 1 ];
+  let m = Anet.meter net in
+  Alcotest.(check int) "good sender charged" 8 (Ks_sim.Meter.sent_bits m 0);
+  Alcotest.(check int) "corrupt sender free" 0 (Ks_sim.Meter.sent_bits m 2)
+
+let test_net_starvation_is_eventual () =
+  (* With only starved traffic pending, it still gets delivered. *)
+  let net =
+    Anet.create ~seed:4L ~n:3 ~corrupt:[] ~msg_bits:(fun (_ : int) -> 8)
+      ~scheduler:(Anet.Delay_targets [ 1 ])
+  in
+  Anet.send net [ envelope 0 1 42 ];
+  let got = ref false in
+  ignore
+    (Anet.run net
+       ~handler:(fun ~me e ->
+         if me = 1 && e.payload = 42 then got := true;
+         [])
+       ~max_events:10);
+  Alcotest.(check bool) "starved message eventually delivered" true !got
+
+let run_ba ?(n = 32) ?(f = 10) ?(byz = Aba.Silent) ?(scheduler = Anet.Fair)
+    ?(inputs = fun i -> i mod 2 = 0) ?(seed = 7L) () =
+  Aba.run ~seed ~n ~f ~inputs:(Array.init n inputs) ~byz ~scheduler
+    ~max_events:2_000_000 ()
+
+let test_ba_honest () =
+  let o = run_ba ~f:0 () in
+  Alcotest.(check bool) "agreement" true o.Aba.agreement;
+  Alcotest.(check bool) "validity" true o.Aba.validity
+
+let test_ba_validity_unanimous () =
+  let o1 = run_ba ~f:10 ~byz:Aba.Equivocate ~inputs:(fun _ -> true) () in
+  Alcotest.(check bool) "agreement" true o1.Aba.agreement;
+  Array.iteri
+    (fun p d ->
+      if not (d = None) then
+        Alcotest.(check (option bool)) (Printf.sprintf "proc %d decides 1" p)
+          (Some true) d)
+    o1.Aba.decided;
+  let o0 = run_ba ~f:10 ~byz:Aba.Equivocate ~inputs:(fun _ -> false) () in
+  Alcotest.(check bool) "agreement 0" true o0.Aba.agreement
+
+let test_ba_silent_third () =
+  let o = run_ba ~f:10 ~byz:Aba.Silent () in
+  Alcotest.(check bool) "agreement" true o.Aba.agreement;
+  Alcotest.(check bool) "validity" true o.Aba.validity
+
+let test_ba_equivocate_third () =
+  let o = run_ba ~f:10 ~byz:Aba.Equivocate () in
+  Alcotest.(check bool) "agreement" true o.Aba.agreement;
+  Alcotest.(check bool) "validity" true o.Aba.validity
+
+let test_ba_hostile_scheduler () =
+  let o =
+    run_ba ~f:10 ~byz:Aba.Equivocate
+      ~scheduler:(Anet.Delay_targets [ 0; 1; 2; 3 ])
+      ()
+  in
+  Alcotest.(check bool) "agreement despite starvation" true o.Aba.agreement;
+  Alcotest.(check bool) "validity" true o.Aba.validity
+
+let test_ba_many_seeds () =
+  for seed = 1 to 8 do
+    let o = run_ba ~seed:(Int64.of_int seed) ~byz:Aba.Equivocate () in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d agreement" seed)
+      true o.Aba.agreement
+  done
+
+let test_ba_rounds_small () =
+  (* Expected-constant rounds with a common coin: generous bound. *)
+  let o = run_ba ~f:10 ~byz:Aba.Equivocate () in
+  Alcotest.(check bool)
+    (Printf.sprintf "rounds %d reasonable" o.Aba.max_rounds)
+    true (o.Aba.max_rounds <= 20)
+
+let () =
+  Alcotest.run "async"
+    [
+      ( "net",
+        [
+          Alcotest.test_case "delivers everything" `Quick test_net_delivers_everything;
+          Alcotest.test_case "handler cascade" `Quick test_net_handler_cascade;
+          Alcotest.test_case "meter good only" `Quick test_net_meter_good_only;
+          Alcotest.test_case "starvation eventual" `Quick test_net_starvation_is_eventual;
+        ] );
+      ( "binary-ba",
+        [
+          Alcotest.test_case "honest" `Quick test_ba_honest;
+          Alcotest.test_case "validity unanimous" `Quick test_ba_validity_unanimous;
+          Alcotest.test_case "silent third" `Quick test_ba_silent_third;
+          Alcotest.test_case "equivocate third" `Quick test_ba_equivocate_third;
+          Alcotest.test_case "hostile scheduler" `Quick test_ba_hostile_scheduler;
+          Alcotest.test_case "many seeds" `Slow test_ba_many_seeds;
+          Alcotest.test_case "rounds bounded" `Quick test_ba_rounds_small;
+        ] );
+    ]

@@ -1,0 +1,124 @@
+module Election = Ks_core.Election
+module Params = Ks_core.Params
+module Prng = Ks_stdx.Prng
+
+let test_num_bins () =
+  Alcotest.(check int) "basic" 16 (Election.num_bins ~candidates:64 ~winners:4);
+  Alcotest.(check int) "at least 2" 2 (Election.num_bins ~candidates:3 ~winners:4);
+  Alcotest.check_raises "no candidates"
+    (Invalid_argument "Election.num_bins: no candidates") (fun () ->
+      ignore (Election.num_bins ~candidates:0 ~winners:1))
+
+let test_bin_of_word () =
+  Alcotest.(check int) "mod" 3 (Election.bin_of_word ~num_bins:8 11);
+  Alcotest.(check int) "negative-safe" 5 (Election.bin_of_word ~num_bins:8 (-3))
+
+let test_lightest_bin () =
+  (* bins: candidate choices; bin 1 has one selector, bin 0 two, bin 2 three. *)
+  let bins = [| 0; 0; 1; 2; 2; 2 |] in
+  Alcotest.(check int) "lightest" 1 (Election.lightest_bin ~num_bins:3 bins);
+  (* An empty bin is lightest (paper-literal semantics; padding then
+     fills the winner set). *)
+  let empty = [| 0; 1 |] in
+  Alcotest.(check int) "empty bin is lightest" 2 (Election.lightest_bin ~num_bins:3 empty);
+  (* Ties among equally light bins break to the lowest index. *)
+  let tie = [| 0; 1; 0; 1 |] in
+  Alcotest.(check int) "tie to low" 0 (Election.lightest_bin ~num_bins:2 tie)
+
+let test_winner_indices () =
+  let bins = [| 0; 1; 1; 0; 2; 1 |] in
+  (* bin 2 is lightest with candidate 4 only; pad to 3 with 0 and 1. *)
+  let w = Election.winner_indices ~num_bins:3 ~target:3 bins in
+  Alcotest.(check (array int)) "padded winners" [| 0; 1; 4 |] w
+
+let test_winner_no_padding_needed () =
+  let bins = [| 0; 0; 1; 1; 2 |] in
+  let w = Election.winner_indices ~num_bins:3 ~target:1 bins in
+  Alcotest.(check (array int)) "lightest only" [| 4 |] w
+
+let test_winner_target_capped () =
+  let bins = [| 0; 0 |] in
+  let w = Election.winner_indices ~num_bins:2 ~target:10 bins in
+  Alcotest.(check int) "cannot exceed candidates" 2 (Array.length w)
+
+let test_empty () =
+  Alcotest.(check (array int)) "no candidates" [||]
+    (Election.winner_indices ~num_bins:2 ~target:3 [||])
+
+let prop_winner_count =
+  QCheck.Test.make ~name:"winner count = min(target, r) when lightest fits" ~count:200
+    QCheck.(triple (int_range 1 100) (int_range 2 16) (int_range 1 20))
+    (fun (r, num_bins, target) ->
+      let rng = Prng.create (Int64.of_int ((r * 31) + num_bins)) in
+      let bins = Array.init r (fun _ -> Prng.int rng num_bins) in
+      let w = Election.winner_indices ~num_bins ~target bins in
+      (* Winners are sorted, distinct, within range; the count never
+         falls below min(target, r). *)
+      let sorted = Array.copy w in
+      Array.sort compare sorted;
+      sorted = w
+      && Array.for_all (fun i -> i >= 0 && i < r) w
+      && Array.length w >= Stdlib.min target r
+      && Array.length w <= r)
+
+let prop_lightest_is_lightest =
+  QCheck.Test.make ~name:"lightest bin has minimal count" ~count:200
+    QCheck.(pair (int_range 1 80) (int_range 2 10))
+    (fun (r, num_bins) ->
+      let rng = Prng.create (Int64.of_int ((r * 7) + num_bins)) in
+      let bins = Array.init r (fun _ -> Prng.int rng num_bins) in
+      let counts = Array.make num_bins 0 in
+      Array.iter (fun b -> counts.(b) <- counts.(b) + 1) bins;
+      let light = Election.lightest_bin ~num_bins bins in
+      Array.for_all (fun c -> counts.(light) <= c) counts)
+
+let test_params_profiles () =
+  let p = Params.practical 256 in
+  ignore (Params.validate p);
+  Alcotest.(check bool) "budget below n/3" true
+    (Params.corruption_budget p < 256 / 3 + 1);
+  let t = Params.theoretical 1024 in
+  Alcotest.(check bool) "theoretical k1 = log^3" true (t.Params.k1 = 1000);
+  Alcotest.check_raises "tiny n rejected"
+    (Invalid_argument "Params.practical: n must be at least 16") (fun () ->
+      ignore (Params.practical 8))
+
+let test_share_threshold_policies () =
+  let p = Params.practical 64 in
+  let third = Params.share_threshold p ~holders:12 in
+  Alcotest.(check int) "third policy" 3 third;
+  let p2 = { p with Params.share_policy = Params.Half_minus_one } in
+  Alcotest.(check int) "half policy" 5 (Params.share_threshold p2 ~holders:12);
+  Alcotest.(check int) "degenerate holders" 0 (Params.share_threshold p ~holders:1)
+
+let test_tree_config_roundtrip () =
+  let p = Params.practical 128 in
+  let cfg = Params.tree_config p in
+  Alcotest.(check int) "n" 128 cfg.Ks_topology.Tree.n;
+  Alcotest.(check int) "q" p.Params.q cfg.Ks_topology.Tree.q;
+  (* The tree it induces must build. *)
+  let t = Ks_topology.Tree.build (Prng.create 2L) cfg in
+  Alcotest.(check bool) "at least 3 levels" true (Ks_topology.Tree.levels t >= 3)
+
+let () =
+  Alcotest.run "election"
+    [
+      ( "feige",
+        [
+          Alcotest.test_case "num_bins" `Quick test_num_bins;
+          Alcotest.test_case "bin_of_word" `Quick test_bin_of_word;
+          Alcotest.test_case "lightest bin" `Quick test_lightest_bin;
+          Alcotest.test_case "winners with padding" `Quick test_winner_indices;
+          Alcotest.test_case "winners exact" `Quick test_winner_no_padding_needed;
+          Alcotest.test_case "target capped" `Quick test_winner_target_capped;
+          Alcotest.test_case "empty" `Quick test_empty;
+          QCheck_alcotest.to_alcotest prop_winner_count;
+          QCheck_alcotest.to_alcotest prop_lightest_is_lightest;
+        ] );
+      ( "params",
+        [
+          Alcotest.test_case "profiles" `Quick test_params_profiles;
+          Alcotest.test_case "share thresholds" `Quick test_share_threshold_policies;
+          Alcotest.test_case "tree config" `Quick test_tree_config_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+module Zp = Ks_field.Zp
+module Gf256 = Ks_field.Gf256
+module Prng = Ks_stdx.Prng
+
+(* Field axioms as qcheck properties, instantiated for both fields. *)
+module Axioms (F : Ks_field.Field_intf.S) (Name : sig
+  val name : string
+end) =
+struct
+  let elem =
+    QCheck.map
+      (fun seed -> F.random (Prng.create (Int64.of_int seed)))
+      QCheck.small_nat
+
+  let nonzero =
+    QCheck.map
+      (fun seed -> F.random_nonzero (Prng.create (Int64.of_int seed)))
+      QCheck.small_nat
+
+  let t name = Name.name ^ ": " ^ name
+
+  let tests =
+    [
+      QCheck.Test.make ~name:(t "add commutative") ~count:200 (QCheck.pair elem elem)
+        (fun (a, b) -> F.equal (F.add a b) (F.add b a));
+      QCheck.Test.make ~name:(t "add associative") ~count:200
+        (QCheck.triple elem elem elem)
+        (fun (a, b, c) -> F.equal (F.add (F.add a b) c) (F.add a (F.add b c)));
+      QCheck.Test.make ~name:(t "mul commutative") ~count:200 (QCheck.pair elem elem)
+        (fun (a, b) -> F.equal (F.mul a b) (F.mul b a));
+      QCheck.Test.make ~name:(t "mul associative") ~count:200
+        (QCheck.triple elem elem elem)
+        (fun (a, b, c) -> F.equal (F.mul (F.mul a b) c) (F.mul a (F.mul b c)));
+      QCheck.Test.make ~name:(t "distributivity") ~count:200
+        (QCheck.triple elem elem elem)
+        (fun (a, b, c) ->
+          F.equal (F.mul a (F.add b c)) (F.add (F.mul a b) (F.mul a c)));
+      QCheck.Test.make ~name:(t "additive inverse") ~count:200 elem (fun a ->
+          F.equal (F.add a (F.neg a)) F.zero);
+      QCheck.Test.make ~name:(t "multiplicative inverse") ~count:200 nonzero (fun a ->
+          F.equal (F.mul a (F.inv a)) F.one);
+      QCheck.Test.make ~name:(t "sub = add neg") ~count:200 (QCheck.pair elem elem)
+        (fun (a, b) -> F.equal (F.sub a b) (F.add a (F.neg b)));
+      QCheck.Test.make ~name:(t "pow matches repeated mul") ~count:100
+        (QCheck.pair elem (QCheck.int_bound 12))
+        (fun (a, e) ->
+          let rec go acc i = if i = 0 then acc else go (F.mul acc a) (i - 1) in
+          F.equal (F.pow a e) (go F.one e));
+      QCheck.Test.make ~name:(t "of_int/to_int roundtrip") ~count:200 elem (fun a ->
+          F.equal a (F.of_int (F.to_int a)));
+    ]
+end
+
+module Zp_axioms =
+  Axioms
+    (Zp)
+    (struct
+      let name = "Zp"
+    end)
+
+module Gf_axioms =
+  Axioms
+    (Gf256)
+    (struct
+      let name = "GF256"
+    end)
+
+let test_zp_edge () =
+  Alcotest.(check int) "p-1 + 1 = 0" 0 (Zp.to_int (Zp.add (Zp.of_int (Zp.p - 1)) Zp.one));
+  Alcotest.(check int) "neg zero" 0 (Zp.to_int (Zp.neg Zp.zero));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Zp.inv Zp.zero));
+  Alcotest.(check int) "of_int reduces" 1 (Zp.to_int (Zp.of_int (Zp.p + 1)))
+
+let test_gf256_edge () =
+  Alcotest.(check int) "x+x=0" 0 (Gf256.to_int (Gf256.add (Gf256.of_int 0x57) (Gf256.of_int 0x57)));
+  (* Known AES value: 0x57 * 0x13 = 0xFE in GF(2^8)/0x11B. *)
+  Alcotest.(check int) "AES known product" 0xFE
+    (Gf256.to_int (Gf256.mul (Gf256.of_int 0x57) (Gf256.of_int 0x13)));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () ->
+      ignore (Gf256.inv Gf256.zero))
+
+module P = Ks_field.Poly.Make (Zp)
+
+let test_poly_eval () =
+  (* 3 + 2x + x^2 at x = 5 -> 38 *)
+  let p = P.of_coeffs [| Zp.of_int 3; Zp.of_int 2; Zp.of_int 1 |] in
+  Alcotest.(check int) "eval" 38 (Zp.to_int (P.eval p (Zp.of_int 5)));
+  Alcotest.(check int) "degree" 2 (P.degree p);
+  Alcotest.(check int) "zero degree" (-1) (P.degree P.zero)
+
+let test_poly_normalise () =
+  let p = P.of_coeffs [| Zp.of_int 1; Zp.zero; Zp.zero |] in
+  Alcotest.(check int) "trailing zeros dropped" 0 (P.degree p)
+
+let test_poly_divmod () =
+  let rng = Prng.create 9L in
+  for _ = 1 to 50 do
+    let a = P.random rng ~degree:7 ~const:(Zp.random rng) in
+    let b = P.random rng ~degree:3 ~const:(Zp.random rng) in
+    let q, r = P.divmod a b in
+    Alcotest.(check bool) "a = qb + r" true (P.equal a (P.add (P.mul q b) r));
+    Alcotest.(check bool) "deg r < deg b" true (P.degree r < Stdlib.max 1 (P.degree b))
+  done
+
+let test_poly_interpolate_roundtrip () =
+  let rng = Prng.create 11L in
+  for _ = 1 to 30 do
+    let p = P.random rng ~degree:4 ~const:(Zp.random rng) in
+    let pts = List.init 5 (fun i -> (Zp.of_int (i + 1), P.eval p (Zp.of_int (i + 1)))) in
+    let q = P.interpolate pts in
+    Alcotest.(check bool) "interpolation recovers" true (P.equal p q);
+    Alcotest.(check int) "lagrange_eval agrees" (Zp.to_int (P.eval p (Zp.of_int 77)))
+      (Zp.to_int (P.lagrange_eval pts (Zp.of_int 77)))
+  done
+
+let test_poly_interpolate_errors () =
+  Alcotest.check_raises "duplicate x" (Invalid_argument "Poly.interpolate: duplicate abscissa")
+    (fun () -> ignore (P.interpolate [ (Zp.one, Zp.one); (Zp.one, Zp.zero) ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Poly.interpolate: no points")
+    (fun () -> ignore (P.interpolate []))
+
+module L = Ks_field.Linalg.Make (Zp)
+
+let test_linalg_solve () =
+  (* x + 2y = 5; 3x + 4y = 11 -> x = 1, y = 2 *)
+  let a = [| [| Zp.of_int 1; Zp.of_int 2 |]; [| Zp.of_int 3; Zp.of_int 4 |] |] in
+  let b = [| Zp.of_int 5; Zp.of_int 11 |] in
+  match L.solve a b with
+  | Some x ->
+    Alcotest.(check int) "x" 1 (Zp.to_int x.(0));
+    Alcotest.(check int) "y" 2 (Zp.to_int x.(1))
+  | None -> Alcotest.fail "no solution found"
+
+let test_linalg_inconsistent () =
+  let a = [| [| Zp.one; Zp.one |]; [| Zp.one; Zp.one |] |] in
+  let b = [| Zp.of_int 1; Zp.of_int 2 |] in
+  Alcotest.(check bool) "inconsistent detected" true (L.solve a b = None)
+
+let test_linalg_underdetermined () =
+  let a = [| [| Zp.one; Zp.one |] |] in
+  let b = [| Zp.of_int 5 |] in
+  match L.solve a b with
+  | Some x ->
+    Alcotest.(check int) "solution satisfies" 5
+      (Zp.to_int (Zp.add x.(0) x.(1)))
+  | None -> Alcotest.fail "should be solvable"
+
+let test_linalg_rank () =
+  let a = [| [| Zp.one; Zp.of_int 2 |]; [| Zp.of_int 2; Zp.of_int 4 |] |] in
+  Alcotest.(check int) "rank deficient" 1 (L.rank a);
+  let b = [| [| Zp.one; Zp.zero |]; [| Zp.zero; Zp.one |] |] in
+  Alcotest.(check int) "full rank" 2 (L.rank b)
+
+let prop_linalg_random_solve =
+  QCheck.Test.make ~name:"solve recovers planted solution" ~count:100 QCheck.small_nat
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int (seed + 1)) in
+      let n = 1 + (seed mod 6) in
+      let x = Array.init n (fun _ -> Zp.random rng) in
+      let a = Array.init n (fun _ -> Array.init n (fun _ -> Zp.random rng)) in
+      let b =
+        Array.map
+          (fun row ->
+            let acc = ref Zp.zero in
+            Array.iteri (fun j v -> acc := Zp.add !acc (Zp.mul v x.(j))) row;
+            !acc)
+          a
+      in
+      match L.solve a b with
+      | None -> false (* random square systems are a.s. nonsingular *)
+      | Some y ->
+        (* Any solution must satisfy the system. *)
+        Array.for_all2
+          (fun row bi ->
+            let acc = ref Zp.zero in
+            Array.iteri (fun j v -> acc := Zp.add !acc (Zp.mul v y.(j))) row;
+            Zp.equal !acc bi)
+          a b)
+
+let () =
+  Alcotest.run "field"
+    [
+      ("zp-axioms", List.map QCheck_alcotest.to_alcotest Zp_axioms.tests);
+      ("gf256-axioms", List.map QCheck_alcotest.to_alcotest Gf_axioms.tests);
+      ( "edges",
+        [
+          Alcotest.test_case "zp edges" `Quick test_zp_edge;
+          Alcotest.test_case "gf256 edges" `Quick test_gf256_edge;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "eval" `Quick test_poly_eval;
+          Alcotest.test_case "normalise" `Quick test_poly_normalise;
+          Alcotest.test_case "divmod" `Quick test_poly_divmod;
+          Alcotest.test_case "interpolate roundtrip" `Quick test_poly_interpolate_roundtrip;
+          Alcotest.test_case "interpolate errors" `Quick test_poly_interpolate_errors;
+        ] );
+      ( "linalg",
+        [
+          Alcotest.test_case "solve 2x2" `Quick test_linalg_solve;
+          Alcotest.test_case "inconsistent" `Quick test_linalg_inconsistent;
+          Alcotest.test_case "underdetermined" `Quick test_linalg_underdetermined;
+          Alcotest.test_case "rank" `Quick test_linalg_rank;
+          QCheck_alcotest.to_alcotest prop_linalg_random_solve;
+        ] );
+    ]

@@ -1,0 +1,106 @@
+module Sampler = Ks_sampler.Sampler
+module Prng = Ks_stdx.Prng
+
+let rng () = Prng.create 99L
+
+let test_shapes () =
+  let s = Sampler.create (rng ()) ~r:100 ~s:50 ~d:8 in
+  Alcotest.(check int) "r" 100 (Sampler.r s);
+  Alcotest.(check int) "s" 50 (Sampler.s s);
+  Alcotest.(check int) "d" 8 (Sampler.d s);
+  for x = 0 to 99 do
+    let m = Sampler.eval s x in
+    Alcotest.(check int) "multiset size" 8 (Array.length m);
+    Array.iter (fun e -> Alcotest.(check bool) "element range" true (e >= 0 && e < 50)) m
+  done
+
+let test_eval_out_of_range () =
+  let s = Sampler.create (rng ()) ~r:10 ~s:10 ~d:2 in
+  Alcotest.check_raises "negative" (Invalid_argument "Sampler.eval: input out of range")
+    (fun () -> ignore (Sampler.eval s (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Sampler.eval: input out of range")
+    (fun () -> ignore (Sampler.eval s 10))
+
+let test_distinct () =
+  let s = Sampler.create_distinct (rng ()) ~r:50 ~s:20 ~d:10 in
+  for x = 0 to 49 do
+    let m = Array.copy (Sampler.eval s x) in
+    Array.sort compare m;
+    for i = 1 to 9 do
+      Alcotest.(check bool) "distinct elements" true (m.(i) <> m.(i - 1))
+    done
+  done
+
+let test_distinct_rejects_oversize () =
+  Alcotest.check_raises "d > s" (Invalid_argument "Sampler.create_distinct: d > s")
+    (fun () -> ignore (Sampler.create_distinct (rng ()) ~r:5 ~s:3 ~d:4))
+
+let test_degree_consistency () =
+  let s = Sampler.create (rng ()) ~r:64 ~s:32 ~d:4 in
+  let total = ref 0 in
+  for y = 0 to 31 do
+    total := !total + Sampler.degree s y
+  done;
+  Alcotest.(check int) "degrees sum to r*d" (64 * 4) !total;
+  Alcotest.(check bool) "max degree sane" true (Sampler.max_degree s >= (64 * 4) / 32)
+
+let test_bad_fraction () =
+  let s = Sampler.create_distinct (rng ()) ~r:10 ~s:10 ~d:10 in
+  (* d = s means every multiset is the full population. *)
+  let bad = Array.init 10 (fun i -> i < 3) in
+  for x = 0 to 9 do
+    Alcotest.(check (float 1e-9)) "full-population fraction" 0.3
+      (Sampler.bad_fraction s ~bad x)
+  done;
+  Alcotest.(check (float 1e-9)) "no exceeders at theta=0" 0.0
+    (Sampler.exceeding_inputs s ~bad ~theta:0.0)
+
+let test_exceeding_monotone_in_theta () =
+  let rng = rng () in
+  let s = Sampler.create rng ~r:256 ~s:256 ~d:16 in
+  let bad = Array.init 256 (fun i -> i mod 3 = 0) in
+  let e1 = Sampler.exceeding_inputs s ~bad ~theta:0.05 in
+  let e2 = Sampler.exceeding_inputs s ~bad ~theta:0.15 in
+  let e3 = Sampler.exceeding_inputs s ~bad ~theta:0.30 in
+  Alcotest.(check bool) "monotone decreasing" true (e1 >= e2 && e2 >= e3)
+
+let test_quality_improves_with_degree () =
+  let rng = rng () in
+  let delta d =
+    let s = Sampler.create rng ~r:512 ~s:512 ~d in
+    Sampler.estimate_delta rng s ~theta:0.15 ~trials:10 ~set_fraction:(1.0 /. 3.0)
+  in
+  let d8 = delta 8 and d64 = delta 64 in
+  Alcotest.(check bool)
+    (Printf.sprintf "delta(64)=%.3f <= delta(8)=%.3f" d64 d8)
+    true (d64 <= d8)
+
+let prop_exceeding_bounded =
+  QCheck.Test.make ~name:"exceeding_inputs in [0,1]" ~count:50 QCheck.small_nat
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int (seed + 1)) in
+      let s = Sampler.create rng ~r:64 ~s:64 ~d:8 in
+      let bad = Array.init 64 (fun _ -> Prng.bool rng) in
+      let e = Sampler.exceeding_inputs s ~bad ~theta:0.1 in
+      e >= 0.0 && e <= 1.0)
+
+let () =
+  Alcotest.run "sampler"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "eval bounds" `Quick test_eval_out_of_range;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          Alcotest.test_case "distinct oversize" `Quick test_distinct_rejects_oversize;
+          Alcotest.test_case "degrees" `Quick test_degree_consistency;
+        ] );
+      ( "quality",
+        [
+          Alcotest.test_case "bad fraction" `Quick test_bad_fraction;
+          Alcotest.test_case "theta monotone" `Quick test_exceeding_monotone_in_theta;
+          Alcotest.test_case "degree improves delta" `Quick
+            test_quality_improves_with_degree;
+          QCheck_alcotest.to_alcotest prop_exceeding_bounded;
+        ] );
+    ]

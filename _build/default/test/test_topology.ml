@@ -1,0 +1,203 @@
+module Tree = Ks_topology.Tree
+module Graph = Ks_topology.Graph
+module Prng = Ks_stdx.Prng
+
+let config ?(n = 128) ?(q = 8) ?(k1 = 8) ?(growth = 2) ?(up = 6) ?(ell = 5) () =
+  { Tree.n; q; k1; growth; up_degree = up; ell_degree = ell }
+
+let build ?n ?q ?k1 ?growth ?up ?ell () =
+  Tree.build (Prng.create 31L) (config ?n ?q ?k1 ?growth ?up ?ell ())
+
+let test_level_structure () =
+  let t = build () in
+  (* n=128, q=8: 128 -> 16 -> 2 -> 1. *)
+  Alcotest.(check int) "levels" 4 (Tree.levels t);
+  Alcotest.(check int) "leaf count" 128 (Tree.node_count t ~level:1);
+  Alcotest.(check int) "level2 count" 16 (Tree.node_count t ~level:2);
+  Alcotest.(check int) "root count" 1 (Tree.node_count t ~level:4);
+  Alcotest.(check int) "leaf size" 8 (Tree.node_size t ~level:1);
+  Alcotest.(check int) "level2 size" 16 (Tree.node_size t ~level:2);
+  Alcotest.(check int) "root holds everyone" 128 (Tree.node_size t ~level:4)
+
+let test_members_distinct () =
+  let t = build () in
+  for level = 1 to Tree.levels t do
+    for node = 0 to Tree.node_count t ~level - 1 do
+      let m = Tree.members t ~level ~node in
+      let sorted = Array.copy m in
+      Array.sort compare sorted;
+      for i = 1 to Array.length sorted - 1 do
+        Alcotest.(check bool) "distinct members" true (sorted.(i) <> sorted.(i - 1))
+      done;
+      Array.iter
+        (fun p -> Alcotest.(check bool) "member in range" true (p >= 0 && p < 128))
+        m
+    done
+  done
+
+let test_position_of () =
+  let t = build () in
+  let m = Tree.members t ~level:2 ~node:3 in
+  Array.iteri
+    (fun pos p ->
+      Alcotest.(check (option int)) "position roundtrip" (Some pos)
+        (Tree.position_of t ~level:2 ~node:3 p))
+    m;
+  (* A processor not in the node. *)
+  let absent =
+    let rec find p = if Array.exists (fun x -> x = p) m then find (p + 1) else p in
+    find 0
+  in
+  Alcotest.(check (option int)) "absent" None (Tree.position_of t ~level:2 ~node:3 absent)
+
+let test_parent_child () =
+  let t = build () in
+  for node = 0 to Tree.node_count t ~level:1 - 1 do
+    let parent = Tree.parent t ~level:1 ~node in
+    Alcotest.(check bool) "child listed" true
+      (List.mem node (Tree.children t ~level:2 ~node:parent))
+  done;
+  Alcotest.(check (list int)) "leaves have no children" []
+    (Tree.children t ~level:1 ~node:0)
+
+let test_leaf_range_and_ancestor () =
+  let t = build () in
+  for leaf = 0 to 127 do
+    for level = 1 to Tree.levels t do
+      let anc = Tree.leaf_ancestor t ~leaf ~level in
+      let lo, hi = Tree.leaf_range t ~level ~node:anc in
+      Alcotest.(check bool) "leaf within ancestor's range" true (leaf >= lo && leaf < hi)
+    done
+  done;
+  let lo, hi = Tree.leaf_range t ~level:(Tree.levels t) ~node:0 in
+  Alcotest.(check (pair int int)) "root covers all leaves" (0, 128) (lo, hi)
+
+let test_uplinks_shared_and_reversed () =
+  let t = build () in
+  for level = 1 to Tree.levels t - 1 do
+    let size = Tree.node_size t ~level in
+    let parent_size = Tree.node_size t ~level:(level + 1) in
+    for m = 0 to size - 1 do
+      let ups = Tree.uplinks t ~level ~member:m in
+      Alcotest.(check bool) "uplink degree positive" true (Array.length ups > 0);
+      Array.iter
+        (fun pp ->
+          Alcotest.(check bool) "uplink in parent" true (pp >= 0 && pp < parent_size);
+          Alcotest.(check bool) "reverse edge exists" true
+            (Array.exists (fun c -> c = m) (Tree.downlinks t ~level ~parent_member:pp)))
+        ups
+    done
+  done
+
+let test_ell_links () =
+  let t = build () in
+  for level = 2 to Tree.levels t do
+    for node = 0 to Tree.node_count t ~level - 1 do
+      let lo, hi = Tree.leaf_range t ~level ~node in
+      let size = Tree.node_size t ~level in
+      for m = 0 to size - 1 do
+        Array.iter
+          (fun leaf ->
+            Alcotest.(check bool) "ell link in subtree" true (leaf >= lo && leaf < hi);
+            Alcotest.(check bool) "ell reverse" true
+              (Array.exists (fun x -> x = m) (Tree.ell_sources t ~level ~node ~leaf)))
+          (Tree.ell_links t ~level ~node ~member:m)
+      done
+    done
+  done
+
+let test_good_node_classification () =
+  let t = build () in
+  let corrupt _ = false in
+  Alcotest.(check bool) "all good" true
+    (Tree.is_good_node t ~corrupt ~level:1 ~node:0 ~threshold:0.67);
+  let all_corrupt _ = true in
+  Alcotest.(check bool) "all bad" false
+    (Tree.is_good_node t ~corrupt:all_corrupt ~level:1 ~node:0 ~threshold:0.67)
+
+let test_appearances_polylog () =
+  let t = build () in
+  (* Every processor appears somewhere, and nobody appears in more than a
+     small multiple of the expected load. *)
+  let expected_total =
+    let acc = ref 0 in
+    for level = 1 to Tree.levels t do
+      acc := !acc + (Tree.node_count t ~level * Tree.node_size t ~level)
+    done;
+    !acc
+  in
+  let per_proc = expected_total / 128 in
+  for p = 0 to 127 do
+    let a = Tree.appearances t p in
+    Alcotest.(check bool) "appears" true (a >= 1);
+    Alcotest.(check bool) "balanced" true (a <= 6 * per_proc)
+  done
+
+let test_build_validation () =
+  Alcotest.check_raises "bad arity" (Invalid_argument "Tree.build: arity must be >= 2")
+    (fun () -> ignore (build ~q:1 ()));
+  Alcotest.check_raises "bad k1" (Invalid_argument "Tree.build: bad k1") (fun () ->
+      ignore (build ~k1:0 ()))
+
+let test_graph_regular () =
+  let g = Graph.random_regular (Prng.create 3L) ~n:64 ~degree:8 in
+  Alcotest.(check int) "n" 64 (Graph.n g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  for v = 0 to 63 do
+    let d = Graph.degree g v in
+    Alcotest.(check bool) "degree near target" true (d >= 4 && d <= 8);
+    Array.iter
+      (fun u ->
+        Alcotest.(check bool) "no self loop" true (u <> v);
+        Alcotest.(check bool) "symmetric" true (Graph.adjacent g u v))
+      (Graph.neighbours g v)
+  done
+
+let test_graph_complete () =
+  let g = Graph.complete 5 in
+  for v = 0 to 4 do
+    Alcotest.(check int) "degree" 4 (Graph.degree g v)
+  done;
+  Alcotest.(check bool) "adjacent" true (Graph.adjacent g 0 4);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let prop_tree_counts_shrink =
+  QCheck.Test.make ~name:"node counts shrink by q" ~count:30
+    QCheck.(pair (int_range 32 512) (int_range 2 8))
+    (fun (n, q) ->
+      let t =
+        Tree.build (Prng.create 1L)
+          { Tree.n; q; k1 = 6; growth = 2; up_degree = 5; ell_degree = 4 }
+      in
+      let ok = ref (Tree.node_count t ~level:1 = n) in
+      for level = 2 to Tree.levels t do
+        let expected =
+          Ks_stdx.Intmath.cdiv (Tree.node_count t ~level:(level - 1)) q
+        in
+        if Tree.node_count t ~level <> expected then ok := false
+      done;
+      !ok && Tree.node_count t ~level:(Tree.levels t) = 1)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "level structure" `Quick test_level_structure;
+          Alcotest.test_case "members distinct" `Quick test_members_distinct;
+          Alcotest.test_case "position_of" `Quick test_position_of;
+          Alcotest.test_case "parent/child" `Quick test_parent_child;
+          Alcotest.test_case "leaf ranges" `Quick test_leaf_range_and_ancestor;
+          Alcotest.test_case "uplinks/downlinks" `Quick test_uplinks_shared_and_reversed;
+          Alcotest.test_case "ell links" `Quick test_ell_links;
+          Alcotest.test_case "good node" `Quick test_good_node_classification;
+          Alcotest.test_case "appearances" `Quick test_appearances_polylog;
+          Alcotest.test_case "validation" `Quick test_build_validation;
+          QCheck_alcotest.to_alcotest prop_tree_counts_shrink;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "random regular" `Quick test_graph_regular;
+          Alcotest.test_case "complete" `Quick test_graph_complete;
+        ] );
+    ]
