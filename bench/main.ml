@@ -71,9 +71,9 @@ let a2e_kernel ~n ~seed () =
   let params = Params.practical n in
   let config = Ks_core.Ae_to_e.config_of_params params in
   let net =
-    Ks_sim.Net.create ~seed ~n ~budget:0
+    Ks_sim.Net.create ~label:"a2e" ~seed ~n ~budget:0
       ~msg_bits:Ks_core.Ae_to_e.msg_bits
-      ~strategy:Ks_sim.Adversary.none
+      ~strategy:Ks_sim.Adversary.none ()
   in
   Ks_core.Ae_to_e.run ~net ~config
     ~knows:(fun _ -> Some 1)
@@ -146,11 +146,38 @@ let run_bechamel () =
 
 let () =
   let args = Array.to_list Sys.argv in
+  (* [--trace FILE] streams the JSONL event trace of whatever runs. *)
+  let trace, args =
+    let rec strip acc = function
+      | "--trace" :: file :: rest ->
+        let sink =
+          try Ks_monitor.Trace.file file
+          with Sys_error e ->
+            Printf.eprintf "bench: --trace: %s\n" e;
+            exit 2
+        in
+        (Some sink, List.rev_append acc rest)
+      | [ "--trace" ] ->
+        prerr_endline "bench: --trace requires a FILE argument";
+        exit 2
+      | a :: rest -> strip (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    strip [] args
+  in
+  let traced f =
+    match trace with
+    | None -> f ()
+    | Some sink ->
+      let hub = Ks_monitor.Hub.create ~trace:sink [] in
+      Ks_monitor.Hub.with_ambient hub f;
+      ignore (Ks_monitor.Hub.finish hub)
+  in
   match args with
   | _ :: "--bechamel" :: _ -> run_bechamel ()
-  | _ :: "--table" :: name :: _ -> run_table name
-  | _ :: "--quick" :: _ -> Experiments.run_all ~quick:true ()
-  | [ _ ] -> Experiments.run_all ()
+  | _ :: "--table" :: name :: _ -> traced (fun () -> run_table name)
+  | _ :: "--quick" :: _ -> Experiments.run_all ~quick:true ?trace ()
+  | [ _ ] -> Experiments.run_all ?trace ()
   | _ ->
-    prerr_endline "usage: main.exe [--quick | --table tN | --bechamel]";
+    prerr_endline "usage: main.exe [--quick | --table tN | --bechamel] [--trace FILE]";
     exit 2

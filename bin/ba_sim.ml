@@ -126,7 +126,32 @@ let run_async ~n ~scenario ~seed ~inputs =
     o.Ks_async.Async_ba.max_sent_bits;
   if o.Ks_async.Async_ba.agreement then `Ok () else `Error (false, "disagreement")
 
-let run_cmd verbose protocol n adversary seed inputs =
+(* Every run executes under the invariant monitors: the accounting set of
+   [Experiments.standard_monitors] plus agreement/validity over the actual
+   decisions.  [--trace FILE] additionally streams the JSONL event trace. *)
+let monitored ~trace_file ~inputs f =
+  match
+    try Ok (Option.map Ks_monitor.Trace.file trace_file)
+    with Sys_error e -> Error (`Error (false, Printf.sprintf "--trace: %s" e))
+  with
+  | Error e -> e
+  | Ok trace ->
+  let monitors =
+    Ks_workload.Experiments.standard_monitors ()
+    @ [
+        Ks_monitor.Monitor.agreement ();
+        Ks_monitor.Monitor.validity ~inputs:(Array.map Bool.to_int inputs);
+      ]
+  in
+  let hub = Ks_monitor.Hub.create ?trace monitors in
+  let result = Ks_monitor.Hub.with_ambient hub f in
+  match Ks_monitor.Hub.finish hub with
+  | [] -> result
+  | vs ->
+    prerr_string (Ks_monitor.Hub.render_violations vs);
+    `Error (false, Printf.sprintf "%d invariant violation(s)" (List.length vs))
+
+let run_cmd verbose protocol n adversary seed inputs trace_file =
   setup_logging verbose;
   match scenario_of_name adversary with
   | Error e -> `Error (false, e)
@@ -137,19 +162,21 @@ let run_cmd verbose protocol n adversary seed inputs =
      | Error e -> `Error (false, e)
      | Ok input_bits ->
        let seed = Int64.of_int seed in
-       (match protocol with
-        | "everywhere" -> run_everywhere ~params ~scenario ~seed ~inputs:input_bits
-        | "ae" -> run_ae ~params ~scenario ~seed ~inputs:input_bits
-        | "rabin" -> run_baseline `Rabin ~params ~scenario ~seed ~inputs:input_bits
-        | "phase-king" ->
-          run_baseline `Phase_king ~params ~scenario ~seed ~inputs:input_bits
-        | "ben-or" -> run_baseline `Ben_or ~params ~scenario ~seed ~inputs:input_bits
-        | "async" -> run_async ~n ~scenario ~seed ~inputs:input_bits
-        | other ->
-          `Error
-            ( false,
-              Printf.sprintf
-                "unknown protocol %S (everywhere|ae|rabin|phase-king|ben-or|async)" other )))
+       monitored ~trace_file ~inputs:input_bits (fun () ->
+           match protocol with
+           | "everywhere" -> run_everywhere ~params ~scenario ~seed ~inputs:input_bits
+           | "ae" -> run_ae ~params ~scenario ~seed ~inputs:input_bits
+           | "rabin" -> run_baseline `Rabin ~params ~scenario ~seed ~inputs:input_bits
+           | "phase-king" ->
+             run_baseline `Phase_king ~params ~scenario ~seed ~inputs:input_bits
+           | "ben-or" -> run_baseline `Ben_or ~params ~scenario ~seed ~inputs:input_bits
+           | "async" -> run_async ~n ~scenario ~seed ~inputs:input_bits
+           | other ->
+             `Error
+               ( false,
+                 Printf.sprintf
+                   "unknown protocol %S (everywhere|ae|rabin|phase-king|ben-or|async)"
+                   other )))
 
 let inspect_cmd n theoretical =
   let params = if theoretical then Params.theoretical n else Params.practical n in
@@ -202,11 +229,20 @@ let theoretical_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log protocol phases to stderr.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the structured JSONL event trace (rounds, sends, corruptions, \
+           decisions, meters) to $(docv).")
+
 let run_term =
   Term.(
     ret
       (const run_cmd $ verbose_arg $ protocol_arg $ n_arg $ adversary_arg $ seed_arg
-     $ inputs_arg))
+     $ inputs_arg $ trace_arg))
 
 let inspect_term = Term.(ret (const inspect_cmd $ n_arg $ theoretical_arg))
 

@@ -69,7 +69,9 @@ let run ~seed ~n ~f ~inputs ~byz ~scheduler ~max_events () =
   let corrupt =
     Array.to_list (Prng.sample_without_replacement (Prng.split root) ~n ~k:f)
   in
-  let net = Async_net.create ~seed:(Prng.bits64 root) ~n ~corrupt ~msg_bits ~scheduler in
+  let net =
+    Async_net.create ~seed:(Prng.bits64 root) ~n ~corrupt ~msg_bits ~scheduler ()
+  in
   let states =
     Array.init n (fun p ->
         { est = inputs.(p); round = 0; committed = None; rounds = Hashtbl.create 8 })
@@ -203,6 +205,13 @@ let run ~seed ~n ~f ~inputs ~byz ~scheduler ~max_events () =
     events := !events + Async_net.run net ~handler ~max_events:chunk
   done;
   let decided = Array.map (fun st -> st.committed) states in
+  for p = 0 to n - 1 do
+    if good p then
+      match decided.(p) with
+      | Some v -> Async_net.decide net p (Bool.to_int v)
+      | None -> ()
+  done;
+  Async_net.emit_meter net;
   let good_values =
     List.filter_map
       (fun p -> if good p then decided.(p) else None)

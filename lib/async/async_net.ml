@@ -45,9 +45,16 @@ type 'msg t = {
      (delivered only when nothing else is pending — eventual delivery). *)
   free : 'msg Pool.t;
   held : 'msg Pool.t;
+  (* No rounds in the async model: events carry the delivery-event count
+     instead, so a trace still orders the run. *)
+  mutable delivered : int;
+  hub : Ks_monitor.Hub.t option;
+  mutable net_id : int;
 }
 
-let create ~seed ~n ~corrupt ~msg_bits ~scheduler =
+let emit t ev = match t.hub with None -> () | Some h -> Ks_monitor.Hub.emit h ev
+
+let create ?hub ?(label = "async") ~seed ~n ~corrupt ~msg_bits ~scheduler () =
   if n <= 0 then invalid_arg "Async_net.create: n must be positive";
   let corrupt_arr = Array.make n false in
   List.iter (fun p -> if p >= 0 && p < n then corrupt_arr.(p) <- true) corrupt;
@@ -56,16 +63,38 @@ let create ~seed ~n ~corrupt ~msg_bits ~scheduler =
    | Fair -> ()
    | Delay_targets targets ->
      List.iter (fun p -> if p >= 0 && p < n then starved.(p) <- true) targets);
-  {
-    size = n;
-    corrupt = corrupt_arr;
-    starved;
-    meter = Ks_sim.Meter.create ~n;
-    msg_bits;
-    rng = Prng.create seed;
-    free = Pool.create ();
-    held = Pool.create ();
-  }
+  let hub = match hub with Some _ as h -> h | None -> Ks_monitor.Hub.ambient () in
+  let t =
+    {
+      size = n;
+      corrupt = corrupt_arr;
+      starved;
+      meter = Ks_sim.Meter.create ~n;
+      msg_bits;
+      rng = Prng.create seed;
+      free = Pool.create ();
+      held = Pool.create ();
+      delivered = 0;
+      hub;
+      net_id = 0;
+    }
+  in
+  (match hub with
+   | Some h ->
+     let budget = Array.fold_left (fun a c -> if c then a + 1 else a) 0 corrupt_arr in
+     t.net_id <- Ks_monitor.Hub.register_net h ~label ~n ~budget;
+     let total = ref 0 in
+     Array.iteri
+       (fun p c ->
+         if c then begin
+           incr total;
+           emit t
+             (Ks_monitor.Event.Corrupt
+                { net = t.net_id; round = 0; proc = p; total = !total; budget })
+         end)
+       corrupt_arr
+   | None -> ());
+  t
 
 let n t = t.size
 let is_corrupt t p = t.corrupt.(p)
@@ -78,9 +107,31 @@ let send t msgs =
       if e.dst >= 0 && e.dst < t.size then begin
         if not t.corrupt.(e.src) then
           Ks_sim.Meter.charge_send t.meter e.src ~bits:(t.msg_bits e.payload);
+        emit t
+          (Ks_monitor.Event.Send
+             { net = t.net_id; round = t.delivered; src = e.src; dst = e.dst;
+               bits = t.msg_bits e.payload; adv = t.corrupt.(e.src) });
         if t.starved.(e.dst) then Pool.push t.held e else Pool.push t.free e
       end)
     msgs
+
+let decide t p value = emit t (Ks_monitor.Event.Decide { net = t.net_id; proc = p; value })
+
+let emit_meter t =
+  match t.hub with
+  | None -> ()
+  | Some _ ->
+    for p = 0 to t.size - 1 do
+      emit t
+        (Ks_monitor.Event.Meter_proc
+           { net = t.net_id; proc = p; sent_bits = Ks_sim.Meter.sent_bits t.meter p;
+             recv_bits = Ks_sim.Meter.recv_bits t.meter p;
+             sent_msgs = Ks_sim.Meter.sent_msgs t.meter p })
+    done;
+    emit t
+      (Ks_monitor.Event.Run_end
+         { net = t.net_id; rounds = t.delivered;
+           total_bits = Ks_sim.Meter.total_sent_bits t.meter })
 
 let step t ~handler =
   if pending t = 0 then false
@@ -99,6 +150,7 @@ let step t ~handler =
     in
     if not t.corrupt.(e.dst) then
       Ks_sim.Meter.charge_recv t.meter e.dst ~bits:(t.msg_bits e.payload);
+    t.delivered <- t.delivered + 1;
     send t (handler ~me:e.dst e);
     true
   end

@@ -25,12 +25,19 @@ type 'msg scheduler =
 
 type 'msg t
 
+(** [create ~seed ~n ~corrupt ~msg_bits ~scheduler ()] — like
+    [Ks_sim.Net.create], reports to [?hub] (default: the ambient hub,
+    see [Ks_monitor.Hub.with_ambient]).  Events carry the delivery-event
+    count in place of a round number — the async model has no rounds. *)
 val create :
+  ?hub:Ks_monitor.Hub.t ->
+  ?label:string ->
   seed:int64 ->
   n:int ->
   corrupt:int list ->
   msg_bits:('msg -> int) ->
   scheduler:'msg scheduler ->
+  unit ->
   'msg t
 
 val n : 'msg t -> int
@@ -55,3 +62,11 @@ val run :
   handler:(me:int -> 'msg Ks_sim.Types.envelope -> 'msg Ks_sim.Types.envelope list) ->
   max_events:int ->
   int
+
+(** [decide t p v] — record good processor [p]'s final decision in the
+    monitor event stream. *)
+val decide : 'msg t -> int -> int -> unit
+
+(** [emit_meter t] — emit per-processor meter snapshots plus a run-end
+    event; call when the protocol finishes. *)
+val emit_meter : 'msg t -> unit

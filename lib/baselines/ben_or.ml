@@ -12,9 +12,9 @@ let run ~seed ~n ~budget ~max_phases ~inputs ~strategy =
   if Array.length inputs <> n then invalid_arg "Ben_or.run: inputs length";
   let faults = budget in
   let net =
-    Ks_sim.Net.create ~seed ~n ~budget
+    Ks_sim.Net.create ~label:"ben_or" ~seed ~n ~budget
       ~msg_bits:(fun m -> match m with Report _ -> 1 | Propose _ -> 2)
-      ~strategy
+      ~strategy ()
   in
   let broadcast me payload = List.init n (fun dst -> { src = me; dst; payload }) in
   let protocol =

@@ -43,7 +43,10 @@ let run ~seed ~params ~adaptive ~budget =
           Ks_sim.Adversary.uniform_random_set rng ~n ~budget:(Stdlib.min budget b))
         ()
   in
-  let net = Ks_sim.Net.create ~seed:(Prng.bits64 root) ~n ~budget ~msg_bits ~strategy in
+  let net =
+    Ks_sim.Net.create ~label:"kssv" ~seed:(Prng.bits64 root) ~n ~budget ~msg_bits
+      ~strategy ()
+  in
   let levels = Tree.levels tree in
   (* Level-2 candidates: the processor owning each leaf. *)
   let winners_by_node = ref (Array.init n (fun leaf -> [| leaf |])) in

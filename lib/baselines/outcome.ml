@@ -37,6 +37,13 @@ let of_decisions ~net ~inputs decided =
   in
   let meter = Ks_sim.Net.meter net in
   let goods = Ks_sim.Net.good_procs net in
+  List.iter
+    (fun p ->
+      match decided.(p) with
+      | Some v -> Ks_sim.Net.decide net p (if v then 1 else 0)
+      | None -> ())
+    goods;
+  Ks_sim.Net.emit_meter net;
   {
     decided;
     agreement;

@@ -6,7 +6,10 @@ type state = { mutable value : bool; mutable mult : int; mutable plurality : boo
 
 let run ~seed ~n ~budget ~faults ~inputs ~strategy =
   if Array.length inputs <> n then invalid_arg "Phase_king.run: inputs length";
-  let net = Ks_sim.Net.create ~seed ~n ~budget ~msg_bits:(fun _ -> 1) ~strategy in
+  let net =
+    Ks_sim.Net.create ~label:"phase_king" ~seed ~n ~budget ~msg_bits:(fun _ -> 1)
+      ~strategy ()
+  in
   let phases = faults + 1 in
   let protocol =
     {

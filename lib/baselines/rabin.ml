@@ -3,7 +3,8 @@ let run ~seed ~n ~budget ~rounds ~epsilon ~inputs ~strategy =
      complete graph with an ideal common coin; the round loop drives the
      same audited Aeba_coin instance the core uses. *)
   let net =
-    Ks_sim.Net.create ~seed ~n ~budget ~msg_bits:(fun _ -> 1) ~strategy
+    Ks_sim.Net.create ~label:"rabin" ~seed ~n ~budget ~msg_bits:(fun _ -> 1)
+      ~strategy ()
   in
   let graph = Ks_topology.Graph.complete n in
   let members = Array.init n (fun i -> i) in

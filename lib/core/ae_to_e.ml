@@ -228,6 +228,13 @@ let run ~net ~config ~knows ~coin =
   in
   let rounds = rounds_needed config in
   let states = Ks_sim.Engine.run net protocol ~rounds in
+  List.iter
+    (fun p ->
+      match states.(p).committed with
+      | Some v -> Ks_sim.Net.decide net p v
+      | None -> ())
+    (Ks_sim.Net.good_procs net);
+  Ks_sim.Net.emit_meter net;
   {
     decided = Array.map (fun st -> st.committed) states;
     iterations_run = config.iterations;

@@ -102,7 +102,8 @@ let run_standalone ~seed ~n ~degree ~rounds ~epsilon ~budget ~inputs ~strategy
     ~coin ?(leak = fun ~round:_ _ -> ()) () =
   if Array.length inputs <> n then invalid_arg "Aeba_coin.run_standalone: inputs";
   let net =
-    Ks_sim.Net.create ~seed ~n ~budget ~msg_bits:(fun _vote -> 1) ~strategy
+    Ks_sim.Net.create ~label:"aeba" ~seed ~n ~budget ~msg_bits:(fun _vote -> 1)
+      ~strategy ()
   in
   let rng = Ks_sim.Net.rng net in
   let graph = Graph.random_regular rng ~n ~degree:(Stdlib.min degree (n - 1)) in
@@ -153,6 +154,7 @@ let run_standalone ~seed ~n ~degree ~rounds ~epsilon ~budget ~inputs ~strategy
       (fun input p -> good p && input = majority)
       inputs (Array.init n (fun i -> i))
   in
+  Ks_sim.Net.emit_meter net;
   {
     final_votes = votes inst;
     agreement;

@@ -226,9 +226,9 @@ let create ~params ~tree ~seed ~behavior ~strategy ?budget () =
     }
   in
   let net =
-    Ks_sim.Net.create ~seed ~n:params.Params.n
+    Ks_sim.Net.create ~label:"tree" ~seed ~n:params.Params.n
       ~budget:(Option.value ~default:(Params.corruption_budget params) budget)
-      ~msg_bits:(payload_bits params) ~strategy:wrapped
+      ~msg_bits:(payload_bits params) ~strategy:wrapped ()
   in
   {
     params;

@@ -30,6 +30,9 @@ let run ~params ~seed ~inputs ~behavior ~tree_strategy ~a2e_strategy ?budget () 
   let root = Prng.create seed in
   let ae_seed = Prng.bits64 root in
   let a2e_seed = Prng.bits64 root in
+  (match Ks_monitor.Hub.ambient () with
+   | Some h -> Ks_monitor.Hub.phase h "tournament"
+   | None -> ());
   let ae =
     Ae_ba.run ~params ~seed:ae_seed ~inputs ~behavior ~strategy:tree_strategy
       ?budget ()
@@ -42,14 +45,17 @@ let run ~params ~seed ~inputs ~behavior ~tree_strategy ~a2e_strategy ?budget () 
   in
   let config = Ae_to_e.config_of_params params in
   let a2e_net =
-    Ks_sim.Net.create ~seed:a2e_seed ~n:params.Params.n
+    Ks_sim.Net.create ~label:"a2e" ~seed:a2e_seed ~n:params.Params.n
       ~budget:(Option.value ~default:(Params.corruption_budget params) budget)
       ~msg_bits:Ae_to_e.msg_bits
-      ~strategy:(a2e_strategy ~carried ~coin:ae.Ae_ba.coin_view)
+      ~strategy:(a2e_strategy ~carried ~coin:ae.Ae_ba.coin_view) ()
   in
   Log.info (fun m ->
       m "tournament done: a.e. agreement %.3f, %d corrupted; amplifying"
         ae.Ae_ba.agreement (List.length carried));
+  (match Ks_monitor.Hub.ambient () with
+   | Some h -> Ks_monitor.Hub.phase h "amplify"
+   | None -> ());
   let knows p = Some (Bool.to_int ae.Ae_ba.votes.(p)) in
   let a2e =
     Ae_to_e.run ~net:a2e_net ~config ~knows ~coin:ae.Ae_ba.coin_view
@@ -89,6 +95,9 @@ let run ~params ~seed ~inputs ~behavior ~tree_strategy ~a2e_strategy ?budget () 
       0 goods
   in
   Log.info (fun m -> m "everywhere: success=%b safe=%b" !success !safe);
+  (* The a2e phase triggers lazy coin opens charged to the tree meter, so
+     the tree snapshot is only final now. *)
+  Ks_sim.Net.emit_meter ae_net;
   {
     ae;
     a2e;

@@ -1,0 +1,253 @@
+type t =
+  | Run_start of { net : int; label : string; n : int; budget : int }
+  | Round_start of { net : int; round : int }
+  | Send of { net : int; round : int; src : int; dst : int; bits : int; adv : bool }
+  | Corrupt of { net : int; round : int; proc : int; total : int; budget : int }
+  | Phase of { name : string }
+  | Decide of { net : int; proc : int; value : int }
+  | Round_end of {
+      net : int;
+      round : int;
+      msgs : int;
+      bits : int;
+      adv_msgs : int;
+      adv_bits : int;
+    }
+  | Meter_proc of {
+      net : int;
+      proc : int;
+      sent_bits : int;
+      recv_bits : int;
+      sent_msgs : int;
+    }
+  | Run_end of { net : int; rounds : int; total_bits : int }
+  | Violation of {
+      invariant : string;
+      net : int;
+      proc : int;
+      round : int;
+      observed : float;
+      bound : float;
+      detail : string;
+    }
+
+(* --- JSON rendering.  One flat object per event, fixed field order, so
+   that identical event streams render to byte-identical JSONL. --- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json = function
+  | Run_start { net; label; n; budget } ->
+    Printf.sprintf {|{"ev":"run_start","net":%d,"label":"%s","n":%d,"budget":%d}|}
+      net (escape label) n budget
+  | Round_start { net; round } ->
+    Printf.sprintf {|{"ev":"round_start","net":%d,"round":%d}|} net round
+  | Send { net; round; src; dst; bits; adv } ->
+    Printf.sprintf {|{"ev":"send","net":%d,"round":%d,"src":%d,"dst":%d,"bits":%d,"adv":%b}|}
+      net round src dst bits adv
+  | Corrupt { net; round; proc; total; budget } ->
+    Printf.sprintf {|{"ev":"corrupt","net":%d,"round":%d,"proc":%d,"total":%d,"budget":%d}|}
+      net round proc total budget
+  | Phase { name } -> Printf.sprintf {|{"ev":"phase","name":"%s"}|} (escape name)
+  | Decide { net; proc; value } ->
+    Printf.sprintf {|{"ev":"decide","net":%d,"proc":%d,"value":%d}|} net proc value
+  | Round_end { net; round; msgs; bits; adv_msgs; adv_bits } ->
+    Printf.sprintf
+      {|{"ev":"round_end","net":%d,"round":%d,"msgs":%d,"bits":%d,"adv_msgs":%d,"adv_bits":%d}|}
+      net round msgs bits adv_msgs adv_bits
+  | Meter_proc { net; proc; sent_bits; recv_bits; sent_msgs } ->
+    Printf.sprintf
+      {|{"ev":"meter","net":%d,"proc":%d,"sent_bits":%d,"recv_bits":%d,"sent_msgs":%d}|}
+      net proc sent_bits recv_bits sent_msgs
+  | Run_end { net; rounds; total_bits } ->
+    Printf.sprintf {|{"ev":"run_end","net":%d,"rounds":%d,"total_bits":%d}|} net rounds
+      total_bits
+  | Violation { invariant; net; proc; round; observed; bound; detail } ->
+    Printf.sprintf
+      {|{"ev":"violation","invariant":"%s","net":%d,"proc":%d,"round":%d,"observed":%.17g,"bound":%.17g,"detail":"%s"}|}
+      (escape invariant) net proc round observed bound (escape detail)
+
+(* --- Parsing.  A minimal scanner for the flat objects above: string,
+   integer, float and boolean values only.  Anything else is a malformed
+   trace line. --- *)
+
+type jv = I of int | F of float | B of bool | S of string
+
+exception Malformed
+
+let parse_flat s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos >= len then raise Malformed else s.[!pos] in
+  let skip_ws () =
+    while !pos < len && (s.[!pos] = ' ' || s.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then raise Malformed;
+    incr pos
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        (match peek () with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | 'n' -> Buffer.add_char b '\n'
+         | 't' -> Buffer.add_char b '\t'
+         | 'u' ->
+           if !pos + 4 >= len then raise Malformed;
+           let hex = String.sub s (!pos + 1) 4 in
+           (match int_of_string_opt ("0x" ^ hex) with
+            | Some c when c < 0x80 -> Buffer.add_char b (Char.chr c)
+            | Some _ | None -> raise Malformed);
+           pos := !pos + 4
+         | _ -> raise Malformed);
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> S (string_lit ())
+    | 't' ->
+      if !pos + 4 <= len && String.sub s !pos 4 = "true" then begin
+        pos := !pos + 4;
+        B true
+      end
+      else raise Malformed
+    | 'f' ->
+      if !pos + 5 <= len && String.sub s !pos 5 = "false" then begin
+        pos := !pos + 5;
+        B false
+      end
+      else raise Malformed
+    | _ ->
+      let start = !pos in
+      let is_num c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+        || c = 'n' || c = 'a' || c = 'i' || c = 'f'
+        (* nan / inf *)
+      in
+      while !pos < len && is_num s.[!pos] do
+        incr pos
+      done;
+      let tok = String.sub s start (!pos - start) in
+      (match int_of_string_opt tok with
+       | Some i -> I i
+       | None ->
+         (match float_of_string_opt tok with
+          | Some f -> F f
+          | None -> raise Malformed))
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if peek () = '}' then incr pos
+  else begin
+    let rec members () =
+      let k = string_lit () in
+      expect ':';
+      let v = value () in
+      fields := (k, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | ',' ->
+        incr pos;
+        skip_ws ();
+        members ()
+      | '}' -> incr pos
+      | _ -> raise Malformed
+    in
+    members ()
+  end;
+  List.rev !fields
+
+let of_json line =
+  match parse_flat line with
+  | exception Malformed -> None
+  | fields ->
+    let int k =
+      match List.assoc_opt k fields with Some (I i) -> i | _ -> raise Malformed
+    in
+    let flo k =
+      match List.assoc_opt k fields with
+      | Some (F f) -> f
+      | Some (I i) -> float_of_int i
+      | _ -> raise Malformed
+    in
+    let str k =
+      match List.assoc_opt k fields with Some (S s) -> s | _ -> raise Malformed
+    in
+    let boo k =
+      match List.assoc_opt k fields with Some (B b) -> b | _ -> raise Malformed
+    in
+    (try
+       match List.assoc_opt "ev" fields with
+       | Some (S "run_start") ->
+         Some
+           (Run_start
+              { net = int "net"; label = str "label"; n = int "n"; budget = int "budget" })
+       | Some (S "round_start") ->
+         Some (Round_start { net = int "net"; round = int "round" })
+       | Some (S "send") ->
+         Some
+           (Send
+              { net = int "net"; round = int "round"; src = int "src"; dst = int "dst";
+                bits = int "bits"; adv = boo "adv" })
+       | Some (S "corrupt") ->
+         Some
+           (Corrupt
+              { net = int "net"; round = int "round"; proc = int "proc";
+                total = int "total"; budget = int "budget" })
+       | Some (S "phase") -> Some (Phase { name = str "name" })
+       | Some (S "decide") ->
+         Some (Decide { net = int "net"; proc = int "proc"; value = int "value" })
+       | Some (S "round_end") ->
+         Some
+           (Round_end
+              { net = int "net"; round = int "round"; msgs = int "msgs";
+                bits = int "bits"; adv_msgs = int "adv_msgs"; adv_bits = int "adv_bits" })
+       | Some (S "meter") ->
+         Some
+           (Meter_proc
+              { net = int "net"; proc = int "proc"; sent_bits = int "sent_bits";
+                recv_bits = int "recv_bits"; sent_msgs = int "sent_msgs" })
+       | Some (S "run_end") ->
+         Some
+           (Run_end { net = int "net"; rounds = int "rounds"; total_bits = int "total_bits" })
+       | Some (S "violation") ->
+         Some
+           (Violation
+              { invariant = str "invariant"; net = int "net"; proc = int "proc";
+                round = int "round"; observed = flo "observed"; bound = flo "bound";
+                detail = str "detail" })
+       | _ -> None
+     with Malformed -> None)

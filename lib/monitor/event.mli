@@ -1,0 +1,62 @@
+(** Structured simulation events — the shared vocabulary of the monitor
+    and trace layer.
+
+    Every network created during a monitored run gets a fresh [net] id
+    (from {!Hub.register_net}); all events carry it so that interleaved
+    networks (the tree net keeps metering coin opens while the
+    amplification net runs, for example) stay distinguishable in a single
+    stream.
+
+    Events serialise to single-line JSON objects (JSONL when written one
+    per line).  Field order is fixed, so identical event streams render
+    to byte-identical text — the determinism regression tests rely on
+    this. *)
+
+type t =
+  | Run_start of { net : int; label : string; n : int; budget : int }
+      (** a network came up: [label] names the protocol phase
+          ("tree", "a2e", "rabin", ...) *)
+  | Round_start of { net : int; round : int }
+  | Send of { net : int; round : int; src : int; dst : int; bits : int; adv : bool }
+      (** one delivered message; [adv] marks adversarial (unmetered)
+          traffic from corrupted processors *)
+  | Corrupt of { net : int; round : int; proc : int; total : int; budget : int }
+      (** [proc] fell; [total] corruptions so far against [budget] *)
+  | Phase of { name : string }  (** protocol-phase transition marker *)
+  | Decide of { net : int; proc : int; value : int }
+      (** a good processor's final decision (only emitted by protocols
+          whose contract is {e everywhere} agreement) *)
+  | Round_end of {
+      net : int;
+      round : int;
+      msgs : int;
+      bits : int;
+      adv_msgs : int;
+      adv_bits : int;
+    }  (** per-round aggregate message and bit counts *)
+  | Meter_proc of {
+      net : int;
+      proc : int;
+      sent_bits : int;
+      recv_bits : int;
+      sent_msgs : int;
+    }
+      (** meter snapshot for one processor; emitted at the end of a run —
+          when re-emitted (a net metered again by a later phase), the
+          {e last} snapshot per (net, proc) is authoritative *)
+  | Run_end of { net : int; rounds : int; total_bits : int }
+  | Violation of {
+      invariant : string;
+      net : int;
+      proc : int;  (** -1 when the violation is not tied to a processor *)
+      round : int;
+      observed : float;
+      bound : float;
+      detail : string;
+    }
+
+(** [to_json e] — one-line JSON, no trailing newline. *)
+val to_json : t -> string
+
+(** [of_json line] — inverse of [to_json]; [None] on malformed input. *)
+val of_json : string -> t option

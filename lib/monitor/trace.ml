@@ -1,0 +1,98 @@
+type ring = {
+  cap : int;
+  buf : Event.t option array;
+  mutable next : int;
+  mutable count : int;
+}
+
+type sink =
+  | Channel of { oc : out_channel; close_oc : bool; mutable closed : bool }
+  | Ring of ring
+
+let file path = Channel { oc = open_out path; close_oc = true; closed = false }
+let channel oc = Channel { oc; close_oc = false; closed = false }
+
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.ring: capacity must be positive";
+  Ring { cap = capacity; buf = Array.make capacity None; next = 0; count = 0 }
+
+let emit sink ev =
+  match sink with
+  | Channel c ->
+    if not c.closed then begin
+      output_string c.oc (Event.to_json ev);
+      output_char c.oc '\n'
+    end
+  | Ring r ->
+    r.buf.(r.next) <- Some ev;
+    r.next <- (r.next + 1) mod r.cap;
+    if r.count < r.cap then r.count <- r.count + 1
+
+let flush = function
+  | Channel c -> if not c.closed then Stdlib.flush c.oc
+  | Ring _ -> ()
+
+let close = function
+  | Channel c ->
+    if not c.closed then begin
+      c.closed <- true;
+      if c.close_oc then close_out c.oc else Stdlib.flush c.oc
+    end
+  | Ring _ -> ()
+
+let contents = function
+  | Channel _ -> []
+  | Ring r ->
+    let out = ref [] in
+    for i = 0 to r.count - 1 do
+      (* Oldest event first: when full, [next] points at the oldest. *)
+      let idx = (r.next - r.count + i + r.cap * 2) mod r.cap in
+      match r.buf.(idx) with Some e -> out := e :: !out | None -> ()
+    done;
+    List.rev !out
+
+let render events = String.concat "" (List.map (fun e -> Event.to_json e ^ "\n") events)
+
+let replay path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let events = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           if String.trim line <> "" then
+             match Event.of_json line with
+             | Some e -> events := e :: !events
+             | None ->
+               failwith (Printf.sprintf "Trace.replay: %s:%d: malformed event" path !lineno)
+         done
+       with End_of_file -> ());
+      List.rev !events)
+
+let sent_bits_by_proc events =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Event.Send { net; src; bits; adv = false; _ } ->
+        let key = (net, src) in
+        Hashtbl.replace tbl key (bits + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      | _ -> ())
+    events;
+  tbl
+
+let meter_by_proc events =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Event.Meter_proc { net; proc; sent_bits; recv_bits; sent_msgs } ->
+        (* Last snapshot per (net, proc) wins. *)
+        Hashtbl.replace tbl (net, proc) (sent_bits, recv_bits, sent_msgs)
+      | _ -> ())
+    events;
+  tbl

@@ -1,0 +1,46 @@
+(** Trace sinks (JSONL file / in-memory ring buffer) and the replay
+    reader used by tests and tooling to assert event-level properties.
+
+    A file sink writes one JSON object per line as events arrive.  A
+    ring sink keeps only the most recent [capacity] events in memory —
+    the low-overhead mode for always-on monitoring of long runs, and the
+    determinism tests' way of capturing a run without touching disk. *)
+
+type sink
+
+(** [file path] — open [path] for writing; one JSON line per event.
+    [close] flushes and closes the file. *)
+val file : string -> sink
+
+(** [channel oc] — write to an existing channel; [close] flushes but
+    does not close [oc]. *)
+val channel : out_channel -> sink
+
+(** [ring ~capacity] — keep the last [capacity] events in memory. *)
+val ring : capacity:int -> sink
+
+val emit : sink -> Event.t -> unit
+val flush : sink -> unit
+
+val close : sink -> unit
+
+(** [contents sink] — the buffered events, oldest first.  Only ring
+    sinks buffer; file/channel sinks return []. *)
+val contents : sink -> Event.t list
+
+(** [render events] — the exact JSONL text the events serialise to
+    (used to compare traces byte-for-byte). *)
+val render : Event.t list -> string
+
+(** [replay path] — parse a JSONL trace file back into events.
+    Raises [Failure] naming the offending line on malformed input. *)
+val replay : string -> Event.t list
+
+(** [sent_bits_by_proc events] — per-(net, proc) metered sent bits summed
+    from the [Send] events (adversarial traffic excluded), for
+    cross-checking against meter snapshots. *)
+val sent_bits_by_proc : Event.t list -> (int * int, int) Hashtbl.t
+
+(** [meter_by_proc events] — the {e last} [Meter_proc] snapshot per
+    (net, proc): [(sent_bits, recv_bits, sent_msgs)]. *)
+val meter_by_proc : Event.t list -> (int * int, int * int * int) Hashtbl.t

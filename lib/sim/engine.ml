@@ -7,7 +7,17 @@ type ('state, 'msg) protocol = {
     'state * 'msg envelope list;
 }
 
-let run_mutable net protocol ~rounds ~states =
+let install net monitors trace =
+  match (monitors, trace) with
+  | None, None -> ()
+  | monitors, trace ->
+    let hub =
+      Ks_monitor.Hub.create ?trace (Option.value monitors ~default:[])
+    in
+    Net.attach_hub net hub
+
+let run_mutable ?monitors ?trace net protocol ~rounds ~states =
+  install net monitors trace;
   let n = Net.n net in
   let inboxes = ref (Array.make n []) in
   for r = 0 to rounds - 1 do
@@ -24,7 +34,7 @@ let run_mutable net protocol ~rounds ~states =
     inboxes := Net.exchange net !outgoing
   done
 
-let run net protocol ~rounds =
+let run ?monitors ?trace net protocol ~rounds =
   let states = Array.init (Net.n net) protocol.init in
-  run_mutable net protocol ~rounds ~states;
+  run_mutable ?monitors ?trace net protocol ~rounds ~states;
   states

@@ -4,6 +4,7 @@ open Types
 type 'msg t = {
   size : int;
   budget : int;
+  label : string;
   corrupt : bool array;
   mutable corrupt_order : proc list; (* newest first *)
   mutable corrupt_count : int;
@@ -15,16 +16,38 @@ type 'msg t = {
   proc_rngs : Prng.t option array;
   msg_bits : 'msg -> int;
   mutable round : int;
+  mutable hub : Ks_monitor.Hub.t option;
+  mutable net_id : int;
 }
 
-let create ~seed ~n ~budget ~msg_bits ~strategy =
+let emit t ev = match t.hub with None -> () | Some h -> Ks_monitor.Hub.emit h ev
+
+let apply_corruptions t procs =
+  List.iter
+    (fun p ->
+      if p >= 0 && p < t.size && (not t.corrupt.(p)) && t.corrupt_count < t.budget
+      then begin
+        t.corrupt.(p) <- true;
+        t.corrupt_order <- p :: t.corrupt_order;
+        t.corrupt_count <- t.corrupt_count + 1;
+        emit t
+          (Ks_monitor.Event.Corrupt
+             { net = t.net_id; round = t.round; proc = p; total = t.corrupt_count;
+               budget = t.budget });
+        t.strategy.on_corrupt p
+      end)
+    procs
+
+let create ?hub ?(label = "net") ~seed ~n ~budget ~msg_bits ~strategy () =
   if n <= 0 then invalid_arg "Net.create: n must be positive";
   if budget < 0 || budget >= n then invalid_arg "Net.create: budget out of range";
+  let hub = match hub with Some _ as h -> h | None -> Ks_monitor.Hub.ambient () in
   let root = Prng.create seed in
   let t =
     {
       size = n;
       budget;
+      label;
       corrupt = Array.make n false;
       corrupt_order = [];
       corrupt_count = 0;
@@ -36,20 +59,14 @@ let create ~seed ~n ~budget ~msg_bits ~strategy =
       proc_rngs = Array.make n None;
       msg_bits;
       round = 0;
+      hub;
+      net_id = 0;
     }
   in
-  let initial =
-    strategy.initial_corruptions t.adversary_rng ~n ~budget
-  in
-  List.iter
-    (fun p ->
-      if p >= 0 && p < n && (not t.corrupt.(p)) && t.corrupt_count < budget then begin
-        t.corrupt.(p) <- true;
-        t.corrupt_order <- p :: t.corrupt_order;
-        t.corrupt_count <- t.corrupt_count + 1;
-        strategy.on_corrupt p
-      end)
-    initial;
+  (match hub with
+   | Some h -> t.net_id <- Ks_monitor.Hub.register_net h ~label ~n ~budget
+   | None -> ());
+  apply_corruptions t (strategy.initial_corruptions t.adversary_rng ~n ~budget);
   t
 
 let n t = t.size
@@ -58,6 +75,19 @@ let meter t = t.meter
 let is_corrupt t p = t.corrupt.(p)
 let corrupt_count t = t.corrupt_count
 let budget t = t.budget
+let hub t = t.hub
+
+let attach_hub t h =
+  t.hub <- Some h;
+  t.net_id <- Ks_monitor.Hub.register_net h ~label:t.label ~n:t.size ~budget:t.budget;
+  (* The hub arrived after creation: replay the corruptions it missed so
+     budget accounting starts from the truth (oldest first). *)
+  List.iteri
+    (fun i p ->
+      Ks_monitor.Hub.emit h
+        (Ks_monitor.Event.Corrupt
+           { net = t.net_id; round = t.round; proc = p; total = i + 1; budget = t.budget }))
+    (List.rev t.corrupt_order)
 
 let good_procs t =
   let rec go p acc = if p < 0 then acc else go (p - 1) (if t.corrupt.(p) then acc else p :: acc) in
@@ -76,19 +106,24 @@ let proc_rng t p =
     t.proc_rngs.(p) <- Some rng;
     rng
 
-let apply_corruptions t procs =
-  List.iter
-    (fun p ->
-      if p >= 0 && p < t.size && (not t.corrupt.(p)) && t.corrupt_count < t.budget
-      then begin
-        t.corrupt.(p) <- true;
-        t.corrupt_order <- p :: t.corrupt_order;
-        t.corrupt_count <- t.corrupt_count + 1;
-        t.strategy.on_corrupt p
-      end)
-    procs
-
 let corrupt_now t procs = apply_corruptions t procs
+
+let decide t p value = emit t (Ks_monitor.Event.Decide { net = t.net_id; proc = p; value })
+
+let emit_meter t =
+  match t.hub with
+  | None -> ()
+  | Some _ ->
+    for p = 0 to t.size - 1 do
+      emit t
+        (Ks_monitor.Event.Meter_proc
+           { net = t.net_id; proc = p; sent_bits = Meter.sent_bits t.meter p;
+             recv_bits = Meter.recv_bits t.meter p; sent_msgs = Meter.sent_msgs t.meter p })
+    done;
+    emit t
+      (Ks_monitor.Event.Run_end
+         { net = t.net_id; rounds = Meter.rounds t.meter;
+           total_bits = Meter.total_sent_bits t.meter })
 
 let make_view t good_outgoing =
   {
@@ -102,6 +137,7 @@ let make_view t good_outgoing =
   }
 
 let exchange t outgoing =
+  emit t (Ks_monitor.Event.Round_start { net = t.net_id; round = t.round });
   (* Only good processors' messages enter the network from the protocol. *)
   let good_outgoing = List.filter (fun e -> not t.corrupt.(e.src)) outgoing in
   (* Adaptive corruption: the adversary inspects what it may see, then
@@ -117,7 +153,13 @@ let exchange t outgoing =
       (t.strategy.act (make_view t good_outgoing))
   in
   (* Accounting: good senders pay for their bits. *)
-  List.iter (fun e -> Meter.charge_send t.meter e.src ~bits:(t.msg_bits e.payload))
+  List.iter
+    (fun e ->
+      let bits = t.msg_bits e.payload in
+      Meter.charge_send t.meter e.src ~bits;
+      emit t
+        (Ks_monitor.Event.Send
+           { net = t.net_id; round = t.round; src = e.src; dst = e.dst; bits; adv = false }))
     good_outgoing;
   (* Delivery. *)
   let inboxes = Array.make t.size [] in
@@ -127,9 +169,33 @@ let exchange t outgoing =
       Meter.charge_recv t.meter e.dst ~bits:(t.msg_bits e.payload)
   in
   List.iter deliver good_outgoing;
-  List.iter deliver adversarial;
+  List.iter
+    (fun e ->
+      emit t
+        (Ks_monitor.Event.Send
+           { net = t.net_id; round = t.round; src = e.src; dst = e.dst;
+             bits = t.msg_bits e.payload; adv = true });
+      deliver e)
+    adversarial;
   (* Reverse so good messages appear first, in send order. *)
   let inboxes = Array.map List.rev inboxes in
+  (match t.hub with
+   | None -> ()
+   | Some _ ->
+     let count, bits =
+       List.fold_left
+         (fun (c, b) e -> (c + 1, b + t.msg_bits e.payload))
+         (0, 0) good_outgoing
+     in
+     let adv_count, adv_bits =
+       List.fold_left
+         (fun (c, b) e -> (c + 1, b + t.msg_bits e.payload))
+         (0, 0) adversarial
+     in
+     emit t
+       (Ks_monitor.Event.Round_end
+          { net = t.net_id; round = t.round; msgs = count; bits; adv_msgs = adv_count;
+            adv_bits }));
   Meter.tick_round t.meter;
   t.round <- t.round + 1;
   inboxes

@@ -22,13 +22,25 @@ type 'msg t
 
 (** [create ~seed ~n ~budget ~msg_bits ~strategy] — a fresh network of
     [n] processors; the adversary may corrupt at most [budget] of them in
-    total, and [msg_bits] prices each payload for the meter. *)
+    total, and [msg_bits] prices each payload for the meter.
+
+    Monitoring: the network reports every round, send, corruption and
+    decision to [?hub] — defaulting to the {e ambient} hub
+    ([Ks_monitor.Hub.ambient ()]), so wrapping a run in
+    [Ks_monitor.Hub.with_ambient] monitors every network it creates.
+    [?label] names the protocol phase in the event stream ("tree",
+    "a2e", "rabin", ...).  With no hub in scope the instrumentation is
+    inert; it never touches the PRNG streams either way, so monitored
+    and unmonitored runs are bit-identical. *)
 val create :
+  ?hub:Ks_monitor.Hub.t ->
+  ?label:string ->
   seed:int64 ->
   n:int ->
   budget:int ->
   msg_bits:('msg -> int) ->
   strategy:'msg Types.strategy ->
+  unit ->
   'msg t
 
 val n : 'msg t -> int
@@ -60,3 +72,23 @@ val exchange : 'msg t -> 'msg Types.envelope list -> 'msg Types.envelope list ar
     strategy (used by failure-injection tests); still bounded by the
     budget and reported through [on_corrupt]. *)
 val corrupt_now : 'msg t -> Types.proc list -> unit
+
+(** {1 Monitoring} *)
+
+(** The hub this network reports to, if any. *)
+val hub : 'msg t -> Ks_monitor.Hub.t option
+
+(** [attach_hub t hub] — attach after creation (how
+    [Engine.run ?monitors] installs monitors).  Registers the net with
+    [hub] and replays the corruptions the hub missed. *)
+val attach_hub : 'msg t -> Ks_monitor.Hub.t -> unit
+
+(** [decide t p v] — record good processor [p]'s final decision in the
+    event stream (protocols with an everywhere-agreement contract call
+    this once per good processor). *)
+val decide : 'msg t -> Types.proc -> int -> unit
+
+(** [emit_meter t] — emit a [Meter_proc] snapshot for every processor
+    plus a [Run_end]; call at the end of a protocol run.  Re-emission is
+    fine: replay readers take the last snapshot per processor. *)
+val emit_meter : 'msg t -> unit

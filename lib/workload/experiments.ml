@@ -435,9 +435,10 @@ let t6_a2e ?(ns = [ 256; 1024 ]) ?(seeds = [ 1; 2; 3 ]) () =
                     Attacks.a2e_strategy scenario ~params ~coin ~carried:[]
                   in
                   let net =
-                    Ks_sim.Net.create ~seed:(seed_of n (seed + 555)) ~n ~budget
+                    Ks_sim.Net.create ~label:"a2e" ~seed:(seed_of n (seed + 555))
+                      ~n ~budget
                       ~msg_bits:Ks_core.Ae_to_e.msg_bits
-                      ~strategy
+                      ~strategy ()
                   in
                   let res = Ks_core.Ae_to_e.run ~net ~config ~knows ~coin in
                   let good p = not (Ks_sim.Net.is_corrupt net p) in
@@ -909,34 +910,69 @@ let t15_async ?(ns = [ 32; 64; 128 ]) ?(seeds = [ 1; 2; 3 ]) () =
     rows;
   rows
 
-let run_all ?(quick = false) () =
+let standard_monitors () =
+  [
+    Ks_monitor.Monitor.corruption_budget ();
+    Ks_monitor.Monitor.bit_budget ();
+    Ks_monitor.Monitor.round_bound ();
+  ]
+
+let monitored ?trace name f =
+  (* Shared sinks ([run_all ?trace] reuses one across tables): the hub
+     must not close what it does not own. *)
+  let hub = Ks_monitor.Hub.create ?trace ~close_trace:false (standard_monitors ()) in
+  let result = Ks_monitor.Hub.with_ambient hub f in
+  match Ks_monitor.Hub.finish hub with
+  | [] -> result
+  | vs ->
+    print_string (Ks_monitor.Hub.render_violations vs);
+    failwith
+      (Printf.sprintf "%s: %d invariant violation(s) — see table above" name
+         (List.length vs))
+
+let run_all ?(quick = false) ?trace () =
+  let monitored name f = monitored ?trace name f in
   let ns_scaling = if quick then [ 64; 128 ] else [ 64; 128; 256; 512 ] in
   let seeds = if quick then [ 1 ] else [ 1; 2 ] in
-  let pts = collect_scaling ~ns:ns_scaling ~seeds in
+  let pts = monitored "scaling" (fun () -> collect_scaling ~ns:ns_scaling ~seeds) in
   ignore (t1_bits pts);
   ignore (t2_latency pts);
-  ignore
-    (t3_ae_agreement
-       ~ns:(if quick then [ 64 ] else [ 64; 128 ])
-       ~seeds:(if quick then [ 1 ] else [ 1; 2 ])
-       ());
-  ignore (t4_aeba_coins ~n:(if quick then 128 else 256) ~trials:(if quick then 4 else 10) ());
-  ignore (t5_election ~candidates:256 ~trials:(if quick then 50 else 200) ());
-  ignore
-    (t6_a2e
-       ~ns:(if quick then [ 256 ] else [ 256; 1024 ])
-       ~seeds:(if quick then [ 1 ] else [ 1; 2; 3 ])
-       ());
+  monitored "t3" (fun () ->
+      ignore
+        (t3_ae_agreement
+           ~ns:(if quick then [ 64 ] else [ 64; 128 ])
+           ~seeds:(if quick then [ 1 ] else [ 1; 2 ])
+           ()));
+  monitored "t4" (fun () ->
+      ignore
+        (t4_aeba_coins ~n:(if quick then 128 else 256)
+           ~trials:(if quick then 4 else 10) ()));
+  monitored "t5" (fun () ->
+      ignore (t5_election ~candidates:256 ~trials:(if quick then 50 else 200) ()));
+  monitored "t6" (fun () ->
+      ignore
+        (t6_a2e
+           ~ns:(if quick then [ 256 ] else [ 256; 1024 ])
+           ~seeds:(if quick then [ 1 ] else [ 1; 2; 3 ])
+           ()));
   ignore (t7_hiding ~trials:(if quick then 4000 else 20000) ());
   ignore (t8_samplers ());
-  ignore (t9_threshold ~n:64 ~seeds:(if quick then [ 1 ] else [ 1; 2; 3 ]) ());
+  monitored "t9" (fun () ->
+      ignore (t9_threshold ~n:64 ~seeds:(if quick then [ 1 ] else [ 1; 2; 3 ]) ()));
   ignore (t10_crossover pts);
-  ignore (t11_ablation ~n:64 ~seeds:(if quick then [ 1 ] else [ 1; 2; 3 ]) ());
-  ignore (t12_universe ~n:64 ~seeds:(if quick then [ 1 ] else [ 1; 2; 3 ]) ());
-  ignore (t13_kssv ~n:(if quick then 128 else 256) ~seeds:(if quick then [ 1 ] else [ 1; 2; 3 ]) ());
+  monitored "t11" (fun () ->
+      ignore (t11_ablation ~n:64 ~seeds:(if quick then [ 1 ] else [ 1; 2; 3 ]) ()));
+  monitored "t12" (fun () ->
+      ignore (t12_universe ~n:64 ~seeds:(if quick then [ 1 ] else [ 1; 2; 3 ]) ()));
+  monitored "t13" (fun () ->
+      ignore
+        (t13_kssv ~n:(if quick then 128 else 256)
+           ~seeds:(if quick then [ 1 ] else [ 1; 2; 3 ]) ()));
   ignore (t14_parameters ());
-  ignore
-    (t15_async
-       ~ns:(if quick then [ 32 ] else [ 32; 64; 128 ])
-       ~seeds:(if quick then [ 1 ] else [ 1; 2; 3 ])
-       ())
+  monitored "t15" (fun () ->
+      ignore
+        (t15_async
+           ~ns:(if quick then [ 32 ] else [ 32; 64; 128 ])
+           ~seeds:(if quick then [ 1 ] else [ 1; 2; 3 ])
+           ()));
+  match trace with Some sink -> Ks_monitor.Trace.close sink | None -> ()

@@ -75,5 +75,18 @@ val t14_parameters : unit -> row list
     (MMR'14) with a common-coin oracle, under hostile scheduling. *)
 val t15_async : ?ns:int list -> ?seeds:int list -> unit -> row list
 
-(** [run_all ~quick ()] — every table, in order. *)
-val run_all : ?quick:bool -> unit -> unit
+(** The always-on accounting monitors every experiment runs under:
+    corruption-budget, Õ(√n) bit budget and polylog round bound (the
+    latter two scoped to the King–Saia phase networks — the O(n²)
+    baselines exist to violate them). *)
+val standard_monitors : unit -> Ks_monitor.Monitor.t list
+
+(** [monitored ?trace name f] — run [f] under an ambient hub with
+    {!standard_monitors}; on any violation, print the violation table
+    and raise [Failure]. *)
+val monitored : ?trace:Ks_monitor.Trace.sink -> string -> (unit -> 'a) -> 'a
+
+(** [run_all ~quick ()] — every table, in order, each net-driving table
+    guarded by {!monitored}.  [?trace] streams all of them into one
+    JSONL sink (closed on return). *)
+val run_all : ?quick:bool -> ?trace:Ks_monitor.Trace.sink -> unit -> unit

@@ -9,7 +9,7 @@ let config_for n =
 let mk_net ?(budget = 0) ?(strategy = Ks_sim.Adversary.none) ~n (_config : A2e.config) =
   Ks_sim.Net.create ~seed:123L ~n ~budget
     ~msg_bits:A2e.msg_bits
-    ~strategy
+    ~strategy ()
 
 (* The standard setup: [confused] good processors hold the wrong belief
    and miss the coin; everyone else is knowledgeable with message 1. *)

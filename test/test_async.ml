@@ -8,7 +8,7 @@ let envelope src dst payload = { src; dst; payload }
 let test_net_delivers_everything () =
   let net =
     Anet.create ~seed:1L ~n:4 ~corrupt:[] ~msg_bits:(fun (_ : int) -> 8)
-      ~scheduler:Anet.Fair
+      ~scheduler:Anet.Fair ()
   in
   let seen = ref [] in
   Anet.send net [ envelope 0 1 10; envelope 1 2 20; envelope 2 3 30 ];
@@ -28,7 +28,7 @@ let test_net_handler_cascade () =
   (* Each delivery to 0 spawns a message to 1, which spawns nothing. *)
   let net =
     Anet.create ~seed:2L ~n:2 ~corrupt:[] ~msg_bits:(fun (_ : int) -> 8)
-      ~scheduler:Anet.Fair
+      ~scheduler:Anet.Fair ()
   in
   Anet.send net [ envelope 1 0 5 ];
   let events =
@@ -41,7 +41,7 @@ let test_net_handler_cascade () =
 let test_net_meter_good_only () =
   let net =
     Anet.create ~seed:3L ~n:4 ~corrupt:[ 2 ] ~msg_bits:(fun (_ : int) -> 8)
-      ~scheduler:Anet.Fair
+      ~scheduler:Anet.Fair ()
   in
   Anet.send net [ envelope 0 1 1; envelope 2 1 1 ];
   let m = Anet.meter net in
@@ -52,7 +52,7 @@ let test_net_starvation_is_eventual () =
   (* With only starved traffic pending, it still gets delivered. *)
   let net =
     Anet.create ~seed:4L ~n:3 ~corrupt:[] ~msg_bits:(fun (_ : int) -> 8)
-      ~scheduler:(Anet.Delay_targets [ 1 ])
+      ~scheduler:(Anet.Delay_targets [ 1 ]) ()
   in
   Anet.send net [ envelope 0 1 42 ];
   let got = ref false in

@@ -130,7 +130,7 @@ let test_kssv_static_vs_adaptive () =
 let test_outcome_detects_disagreement () =
   let net =
     Ks_sim.Net.create ~seed:1L ~n:4 ~budget:0 ~msg_bits:(fun (_ : unit) -> 1)
-      ~strategy:Ks_sim.Adversary.none
+      ~strategy:Ks_sim.Adversary.none ()
   in
   let o =
     Outcome.of_decisions ~net ~inputs:[| true; true; false; false |]

@@ -243,6 +243,62 @@ let prop_robust_radius =
       | Some v -> Zp.equal v secret
       | None -> false)
 
+let prop_subset_threshold_boundary =
+  (* Any subset strictly above the threshold reconstructs; any subset at
+     or below it yields None (information-theoretic hiding boundary). *)
+  QCheck.Test.make ~name:"subset size vs threshold boundary" ~count:100
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, c) ->
+      let rng = Prng.create (Int64.of_int ((a * 65537) + (b * 257) + c + 1)) in
+      let threshold = 1 + (a mod 5) in
+      let holders = threshold + 2 + (b mod 8) in
+      let secret = Zp.random rng in
+      let shares = Sh.deal rng ~threshold ~holders secret in
+      let k = 1 + (c mod holders) in
+      let idx = Prng.sample_without_replacement rng ~n:holders ~k in
+      let subset = Array.to_list (Array.map (fun i -> shares.(i)) idx) in
+      match Sh.reconstruct ~threshold subset with
+      | Some v -> k > threshold && Zp.equal v secret
+      | None -> k <= threshold)
+
+let prop_robust_at_exact_radius =
+  (* Error patterns of every weight up to and including the classical
+     radius ⌊(holders − threshold − 1) / 2⌋ must decode to the secret. *)
+  QCheck.Test.make ~name:"robust corrects at the exact radius" ~count:60
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, c) ->
+      let rng = Prng.create (Int64.of_int ((a * 7907) + (b * 131) + c + 1)) in
+      let threshold = 2 + (a mod 4) in
+      let holders = (3 * (threshold + 1)) + (b mod 4) in
+      let radius = (holders - threshold - 1) / 2 in
+      let errors = c mod (radius + 1) in
+      let secret = Zp.random rng in
+      let shares = Sh.deal rng ~threshold ~holders secret in
+      let bad = corrupt_some rng shares ~count:errors in
+      match Sh.reconstruct_robust ~threshold (Array.to_list bad) with
+      | Some v -> Zp.equal v secret
+      | None -> false)
+
+let prop_robust_beyond_radius_fails_cleanly =
+  (* Past the radius the decoder may recover (list decoding) or give up,
+     but it must never raise and never return a wrong secret for random
+     (non-colluding) error patterns at these sizes. *)
+  QCheck.Test.make ~name:"robust beyond radius: no crash, no wrong secret" ~count:60
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, c) ->
+      let rng = Prng.create (Int64.of_int ((a * 104729) + (b * 433) + c + 1)) in
+      let threshold = 2 + (a mod 3) in
+      let holders = (3 * (threshold + 1)) + (b mod 4) in
+      let radius = (holders - threshold - 1) / 2 in
+      let max_errors = holders - threshold - 1 in
+      let errors = Stdlib.min max_errors (radius + 1 + (c mod 3)) in
+      let secret = Zp.random rng in
+      let shares = Sh.deal rng ~threshold ~holders secret in
+      let bad = corrupt_some rng shares ~count:errors in
+      match Sh.reconstruct_robust ~threshold (Array.to_list bad) with
+      | Some v -> Zp.equal v secret
+      | None -> true)
+
 let () =
   Alcotest.run "shamir"
     [
@@ -267,6 +323,9 @@ let () =
           Alcotest.test_case "exact threshold rejected" `Quick
             test_robust_exact_threshold_rejected;
           QCheck_alcotest.to_alcotest prop_robust_radius;
+          QCheck_alcotest.to_alcotest prop_subset_threshold_boundary;
+          QCheck_alcotest.to_alcotest prop_robust_at_exact_radius;
+          QCheck_alcotest.to_alcotest prop_robust_beyond_radius_fails_cleanly;
         ] );
       ( "vector",
         [

@@ -2,7 +2,7 @@ open Ks_sim
 module Prng = Ks_stdx.Prng
 
 let mk_net ?(n = 8) ?(budget = 2) ?(strategy = Adversary.none) () =
-  Net.create ~seed:5L ~n ~budget ~msg_bits:(fun (_ : int) -> 4) ~strategy
+  Net.create ~seed:5L ~n ~budget ~msg_bits:(fun (_ : int) -> 4) ~strategy ()
 
 let envelope src dst payload = { Types.src; dst; payload }
 

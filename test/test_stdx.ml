@@ -191,6 +191,71 @@ let prop_wire_varint =
       let r = Wire.Reader.of_bytes (Wire.Writer.contents w) in
       Wire.Reader.varint r = v && Wire.Reader.at_end r)
 
+(* A random sequence of wire operations, written then read back in
+   order: the whole format round-trips, not just single fields. *)
+type wire_op =
+  | Op_varint of int
+  | Op_byte of int
+  | Op_bool of bool
+  | Op_u32 of int
+  | Op_bytes of string
+  | Op_words of int array
+
+let wire_op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        (fun v -> Op_varint v) <$> int_bound 1073741823;
+        (fun v -> Op_byte v) <$> int_bound 255;
+        (fun b -> Op_bool b) <$> bool;
+        (fun v -> Op_u32 v) <$> int_bound 0xFFFFFFFF;
+        (fun s -> Op_bytes s) <$> string_size (int_bound 32);
+        (fun a -> Op_words a) <$> array_size (int_bound 16) (int_bound 1_000_000);
+      ])
+
+let write_op w = function
+  | Op_varint v -> Wire.Writer.varint w v
+  | Op_byte v -> Wire.Writer.byte w v
+  | Op_bool b -> Wire.Writer.bool w b
+  | Op_u32 v -> Wire.Writer.u32 w v
+  | Op_bytes s -> Wire.Writer.bytes w (Bytes.of_string s)
+  | Op_words a -> Wire.Writer.word_array w a
+
+let read_op_matches r = function
+  | Op_varint v -> Wire.Reader.varint r = v
+  | Op_byte v -> Wire.Reader.byte r = v
+  | Op_bool b -> Wire.Reader.bool r = b
+  | Op_u32 v -> Wire.Reader.u32 r = v
+  | Op_bytes s -> Bytes.to_string (Wire.Reader.bytes r) = s
+  | Op_words a -> Wire.Reader.word_array r = a
+
+let prop_wire_sequence_roundtrip =
+  QCheck.Test.make ~name:"wire op-sequence roundtrip" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_bound 24) wire_op_gen))
+    (fun ops ->
+      let w = Wire.Writer.create () in
+      List.iter (write_op w) ops;
+      let r = Wire.Reader.of_bytes (Wire.Writer.contents w) in
+      List.for_all (read_op_matches r) ops && Wire.Reader.at_end r)
+
+let prop_wire_truncation_robust =
+  (* Chopping the encoded buffer anywhere must produce [Truncated] (or a
+     clean short read of the prefix fields) — never a crash or a phantom
+     value read past the end. *)
+  QCheck.Test.make ~name:"wire truncation raises cleanly" ~count:200
+    (QCheck.make
+       QCheck.Gen.(pair (list_size (int_bound 12) wire_op_gen) (int_bound 1000)))
+    (fun (ops, cut) ->
+      let w = Wire.Writer.create () in
+      List.iter (write_op w) ops;
+      let full = Wire.Writer.contents w in
+      let cut = Stdlib.min cut (Bytes.length full) in
+      let r = Wire.Reader.of_bytes (Bytes.sub full 0 cut) in
+      (* Reading the ops back either matches the original writes until
+         the data runs out, or raises Truncated — anything else fails. *)
+      try List.for_all (read_op_matches r) ops || cut < Bytes.length full
+      with Wire.Reader.Truncated -> cut < Bytes.length full)
+
 let () =
   Alcotest.run "stdx"
     [
@@ -226,5 +291,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
           Alcotest.test_case "truncated" `Quick test_wire_truncated;
           QCheck_alcotest.to_alcotest prop_wire_varint;
+          QCheck_alcotest.to_alcotest prop_wire_sequence_roundtrip;
+          QCheck_alcotest.to_alcotest prop_wire_truncation_robust;
         ] );
     ]
