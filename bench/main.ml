@@ -16,6 +16,8 @@ module Prng = Ks_stdx.Prng
 
 let scaling_pts = lazy (Experiments.collect_scaling ~ns:[ 64; 128; 256 ] ~seeds:[ 1 ])
 
+let known_tables = List.init 15 (fun i -> Printf.sprintf "t%d" (i + 1))
+
 let run_table = function
   | "t1" -> ignore (Experiments.t1_bits (Lazy.force scaling_pts))
   | "t2" -> ignore (Experiments.t2_latency (Lazy.force scaling_pts))
@@ -32,7 +34,10 @@ let run_table = function
   | "t13" -> ignore (Experiments.t13_kssv ())
   | "t14" -> ignore (Experiments.t14_parameters ())
   | "t15" -> ignore (Experiments.t15_async ())
-  | other -> Printf.eprintf "unknown table %S (expected t1..t15)\n" other
+  | other ->
+    (* Callers validate against [known_tables] first; keep a hard failure
+       here so the two lists cannot silently drift apart. *)
+    invalid_arg (Printf.sprintf "run_table: %S not in t1..t15" other)
 
 (* --- Bechamel micro-benchmarks: one kernel per table. --- *)
 
@@ -144,8 +149,13 @@ let run_bechamel () =
         (Test.elements test))
     bechamel_tests
 
+let usage_and_exit () =
+  prerr_endline "usage: main.exe [--quick | --table tN | --bechamel] [--trace FILE]";
+  Printf.eprintf "  tables: %s\n" (String.concat " " known_tables);
+  exit 2
+
 let () =
-  let args = Array.to_list Sys.argv in
+  let args = List.tl (Array.to_list Sys.argv) in
   (* [--trace FILE] streams the JSONL event trace of whatever runs. *)
   let trace, args =
     let rec strip acc = function
@@ -159,7 +169,7 @@ let () =
         (Some sink, List.rev_append acc rest)
       | [ "--trace" ] ->
         prerr_endline "bench: --trace requires a FILE argument";
-        exit 2
+        usage_and_exit ()
       | a :: rest -> strip (a :: acc) rest
       | [] -> (None, List.rev acc)
     in
@@ -173,11 +183,25 @@ let () =
       Ks_monitor.Hub.with_ambient hub f;
       ignore (Ks_monitor.Hub.finish hub)
   in
+  (* Exactly one mode; anything unrecognised is an error, not a no-op. *)
   match args with
-  | _ :: "--bechamel" :: _ -> run_bechamel ()
-  | _ :: "--table" :: name :: _ -> traced (fun () -> run_table name)
-  | _ :: "--quick" :: _ -> Experiments.run_all ~quick:true ?trace ()
-  | [ _ ] -> Experiments.run_all ?trace ()
-  | _ ->
-    prerr_endline "usage: main.exe [--quick | --table tN | --bechamel] [--trace FILE]";
-    exit 2
+  | [ "--bechamel" ] -> run_bechamel ()
+  | [ "--table" ] ->
+    prerr_endline "bench: --table requires a table name";
+    usage_and_exit ()
+  | [ "--table"; name ] ->
+    if List.mem name known_tables then traced (fun () -> run_table name)
+    else begin
+      Printf.eprintf "bench: unknown table %S (expected t1..t15)\n" name;
+      usage_and_exit ()
+    end
+  | [ "--quick" ] -> Experiments.run_all ~quick:true ?trace ()
+  | [] -> Experiments.run_all ?trace ()
+  | args ->
+    let known a = List.mem a [ "--quick"; "--bechamel"; "--table" ] in
+    (match List.find_opt (fun a -> not (known a)) args with
+     | Some unknown when String.length unknown > 0 && unknown.[0] = '-' ->
+       Printf.eprintf "bench: unknown option %s\n" unknown
+     | Some stray -> Printf.eprintf "bench: unexpected argument %s\n" stray
+     | None -> prerr_endline "bench: expected exactly one mode");
+    usage_and_exit ()

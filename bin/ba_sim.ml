@@ -118,9 +118,8 @@ let run_async ~n ~scenario ~seed ~inputs =
       ~scheduler:Ks_async.Async_net.Fair ~max_events:8_000_000 ()
   in
   Printf.printf
-    "async BA (MMR'14, coin oracle): n=%d f=%d
-    \  agreement=%b validity=%b rounds=%d deliveries=%d max bits/proc=%d
-"
+    "async BA (MMR'14, coin oracle): n=%d f=%d\n\
+    \  agreement=%b validity=%b rounds=%d deliveries=%d max bits/proc=%d\n"
     n f o.Ks_async.Async_ba.agreement o.Ks_async.Async_ba.validity
     o.Ks_async.Async_ba.max_rounds o.Ks_async.Async_ba.events
     o.Ks_async.Async_ba.max_sent_bits;

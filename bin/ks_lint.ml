@@ -1,0 +1,50 @@
+(* ks_lint — the repository's determinism & bit-accounting linter.
+
+   Usage: ks_lint.exe [PATH ...]
+   Lints every .ml file under the given files/directories (default: the
+   checked-in source roots).  Exit 0 when clean, 1 when any rule fires,
+   2 on usage or I/O errors.  See docs/LINT.md for the rules. *)
+
+module L = Ks_lint_rules
+
+let default_roots = [ "lib"; "bin"; "bench"; "examples"; "test" ]
+
+let usage oc =
+  output_string oc
+    (String.concat "\n"
+       [
+         "usage: ks_lint.exe [PATH ...]";
+         "  Lints .ml files under each PATH (file or directory).";
+         Printf.sprintf "  With no PATH, lints: %s" (String.concat " " default_roots);
+         "  Rules R1-R5 are documented in docs/LINT.md."; "";
+       ])
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.exists (fun a -> a = "--help" || a = "-h") args then begin
+    usage stdout;
+    exit 0
+  end;
+  (match List.find_opt (fun a -> String.length a > 0 && a.[0] = '-') args with
+   | Some flag ->
+     Printf.eprintf "ks_lint: unknown option %s\n" flag;
+     usage stderr;
+     exit 2
+   | None -> ());
+  let roots = if args = [] then default_roots else args in
+  (match List.find_opt (fun r -> not (Sys.file_exists r)) roots with
+   | Some missing ->
+     Printf.eprintf "ks_lint: no such file or directory: %s\n" missing;
+     exit 2
+   | None -> ());
+  let summary = L.lint_paths roots in
+  List.iter (fun d -> print_endline (L.render_diagnostic d)) summary.L.diagnostics;
+  List.iter (fun e -> Printf.eprintf "ks_lint: error: %s\n" e) summary.L.errors;
+  if summary.L.errors <> [] then exit 2
+  else if summary.L.diagnostics <> [] then begin
+    Printf.eprintf "ks_lint: %d violation(s) in %d file(s) scanned\n"
+      (List.length summary.L.diagnostics)
+      summary.L.files;
+    exit 1
+  end
+  else Printf.printf "ks_lint: clean (%d files scanned)\n" summary.L.files

@@ -12,7 +12,6 @@
 
 module Aba = Ks_async.Async_ba
 module Anet = Ks_async.Async_net
-module Prng = Ks_stdx.Prng
 
 let n = 64
 let f = (n - 2) / 3

@@ -99,7 +99,7 @@ let run ~seed ~n ~f ~inputs ~byz ~scheduler ~max_events () =
       (* AUX messages whose value is admitted, from distinct senders. *)
       let senders = Hashtbl.create 16 in
       let saw0 = ref false and saw1 = ref false in
-      Hashtbl.iter
+      Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.int_cmp
         (fun s v ->
           if admitted v then begin
             Hashtbl.replace senders s ();

@@ -168,7 +168,7 @@ let vote_round comm ~behavior ~adv_rng ~level ~nodes ~members_of ~graph_of
   tallies
 
 let run ~params ~seed ~inputs ~behavior ~strategy ?budget () =
-  ignore (Params.validate params);
+  let (_ : Params.t) = Params.validate params in
   let n = params.Params.n in
   if Array.length inputs <> n then invalid_arg "Ae_ba.run: inputs length";
   let root = Prng.create seed in
@@ -335,7 +335,7 @@ let run ~params ~seed ~inputs ~behavior ~strategy ?budget () =
             end)
           members;
         let canonical = ref [] and best = ref 0 and good_total = ref 0 in
-        Hashtbl.iter
+        Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.int_list_cmp
           (fun key c ->
             good_total := !good_total + c;
             if c > !best then begin

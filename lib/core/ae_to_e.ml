@@ -114,7 +114,7 @@ let run ~net ~config ~knows ~coin =
         inbox;
       (* i_max: the label with the most replies (ties to lowest label). *)
       let imax = ref None in
-      Hashtbl.iter
+      Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.int_cmp
         (fun label count ->
           match !imax with
           | None -> imax := Some (label, count)
@@ -124,7 +124,10 @@ let run ~net ~config ~knows ~coin =
       match !imax with
       | None -> ()
       | Some (label, _) ->
-        Hashtbl.iter
+        (* Sorted traversal: if several values of [i_max] pass the
+           threshold, every replica commits to the smallest, not to
+           whichever bucket order served first. *)
+        Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.pair_cmp
           (fun (l, value) cv ->
             if l = label && cv >= config.decision_threshold && st.committed = None
             then st.committed <- Some value)

@@ -299,7 +299,7 @@ let word_majority vectors =
           Hashtbl.replace counts v.(w) (c + 1))
         vectors;
       let best = ref None in
-      Hashtbl.iter
+      Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.int_cmp
         (fun value c ->
           match !best with
           | None -> best := Some (value, c)
@@ -456,7 +456,7 @@ let open_ranges_view t ~level ~ranges =
     ranges;
   (* Live values at the election level, restricted to the ranges. *)
   let cur = Hashtbl.create 1024 in
-  Hashtbl.iter
+  Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.int_cmp
     (fun c (off, len) ->
       let st = t.cands.(c) in
       let node = node_of t ~cand:c ~level in
@@ -472,7 +472,7 @@ let open_ranges_view t ~level ~ranges =
   let cur = ref cur in
   for l = level downto 2 do
     let msgs = ref [] in
-    Hashtbl.iter
+    Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.triple_cmp
       (fun (c, node, inst) words ->
         let spos = Structure.pos t.structure ~level:l ~inst in
         let sender = (Tree.members t.tree ~level:l ~node).(spos) in
@@ -533,8 +533,8 @@ let open_ranges_view t ~level ~ranges =
           inbox)
       inboxes;
     let next = Hashtbl.create 1024 in
-    Hashtbl.iter
-      (fun ((c, ch, pinst) as _key) holder_pieces ->
+    Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.triple_cmp
+      (fun (c, ch, pinst) holder_pieces ->
         let dpos = Structure.pos t.structure ~level:(l - 1) ~inst:pinst in
         let holders = Tree.uplinks t.tree ~level:(l - 1) ~member:dpos in
         let th = Params.share_threshold t.params ~holders:(Array.length holders) in
@@ -549,7 +549,7 @@ let open_ranges_view t ~level ~ranges =
   let k1 = Tree.node_size t.tree ~level:1 in
   let t1 = Params.share_threshold t.params ~holders:k1 in
   let msgs = ref [] in
-  Hashtbl.iter
+  Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.triple_cmp
     (fun (c, leaf, inst) words ->
       let members = Tree.members t.tree ~level:1 ~node:leaf in
       let sender = members.(inst) in
@@ -565,7 +565,7 @@ let open_ranges_view t ~level ~ranges =
   let inboxes = exchange t !msgs in
   let pieces = Hashtbl.create 1024 in
   (* Own shares count without a message. *)
-  Hashtbl.iter
+  Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.triple_cmp
     (fun (c, leaf, inst) words ->
       Hashtbl.replace pieces (c, leaf, inst) [ (inst, words) ])
     !cur;
@@ -596,7 +596,7 @@ let open_ranges_view t ~level ~ranges =
         inbox)
     inboxes;
   let secrets = Hashtbl.create 1024 in
-  Hashtbl.iter
+  Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.triple_cmp
     (fun key holder_pieces ->
       match Sh.reconstruct_vectors ~threshold:t1 holder_pieces with
       | Some v -> Hashtbl.replace secrets key v
@@ -606,7 +606,7 @@ let open_ranges_view t ~level ~ranges =
      members take a majority inside each leaf's reports, then across
      leaves. *)
   let msgs = ref [] in
-  Hashtbl.iter
+  Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.triple_cmp
     (fun (c, leaf, mp) words ->
       let enode = node_of t ~cand:c ~level in
       let sender = (Tree.members t.tree ~level:1 ~node:leaf).(mp) in
@@ -652,18 +652,17 @@ let open_ranges_view t ~level ~ranges =
     inboxes;
   (* Per-leaf majority, then per-member majority across leaves. *)
   let leaf_values = Hashtbl.create 4096 in
-  Hashtbl.iter
-    (fun (cand, em, leaf) vectors ->
+  Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.triple_cmp
+    (fun (cand, em, _leaf) vectors ->
       match word_majority vectors with
       | Some v ->
         let key = (cand, em) in
         let existing = Option.value ~default:[] (Hashtbl.find_opt leaf_values key) in
-        ignore leaf;
         Hashtbl.replace leaf_values key (v :: existing)
       | None -> ())
     reports;
   let views = Hashtbl.create 4096 in
-  Hashtbl.iter
+  Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.pair_cmp
     (fun key vectors ->
       match word_majority vectors with
       | Some v -> Hashtbl.replace views key v

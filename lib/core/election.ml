@@ -47,6 +47,6 @@ let winner_indices ~num_bins ~target bins =
         end;
         incr j
       done;
-      Array.of_list (List.sort compare (w @ !pad))
+      Array.of_list (List.sort Int.compare (w @ !pad))
     end
   end

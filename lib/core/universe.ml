@@ -55,7 +55,7 @@ let reduce ~params ~seed ~behavior ~strategy ?budget () =
       end
     done;
     let plurality = ref None in
-    Hashtbl.iter
+    Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.int_cmp
       (fun k c ->
         match !plurality with
         | Some (_, bc) when bc >= c -> ()

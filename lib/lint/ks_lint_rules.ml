@@ -1,0 +1,316 @@
+(* The determinism & bit-accounting linter (see docs/LINT.md).
+
+   A syntactic AST pass over the repository's .ml files.  Every rule is an
+   approximation of a semantic invariant the paper's guarantees rest on:
+   the traversal flags identifier *occurrences*, so it has no false
+   negatives on the constructs it names, and suppressions exist for the
+   (justified) false positives. *)
+
+open Ppxlib
+
+type rule = R1 | R2 | R3 | R4 | R5
+
+let rule_name = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+
+let rule_of_name = function
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | _ -> None
+
+type diagnostic = { file : string; line : int; rule : rule; message : string }
+
+let render_diagnostic d =
+  Printf.sprintf "%s:%d: [%s] %s" d.file d.line (rule_name d.rule) d.message
+
+(* --- Path scoping ----------------------------------------------------- *)
+
+let normalize path =
+  String.concat "/" (String.split_on_char '\\' path)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* [in_dirs path ["lib/core"]] — does [path] live under one of the
+   directories?  Substring matching keeps the check working whether the
+   linter is invoked from the repository root or from dune's sandbox. *)
+let in_dirs path dirs =
+  let path = "/" ^ normalize path in
+  List.exists (fun d -> contains path ("/" ^ d ^ "/")) dirs
+
+let protocol_dirs = [ "lib/core"; "lib/sim"; "lib/topology"; "lib/async" ]
+
+(* async_net.ml and net.ml ARE the channel-and-metering layer R4 protects;
+   everything else in the protocol tree must go through them. *)
+let r4_exempt_files = [ "lib/sim/net.ml"; "lib/sim/meter.ml"; "lib/async/async_net.ml" ]
+
+let scope_of_rule rule path =
+  let p = normalize path in
+  match rule with
+  | R1 -> not (in_dirs p [ "lib/stdx"; "lib/lint" ])
+  | R2 | R3 -> in_dirs p protocol_dirs
+  | R4 ->
+    in_dirs p [ "lib/core"; "lib/baselines"; "lib/async"; "lib/sim" ]
+    && not (List.exists (fun f -> contains ("/" ^ p) ("/" ^ f)) r4_exempt_files)
+  | R5 -> in_dirs p [ "lib" ]
+
+(* --- Identifier classification ---------------------------------------- *)
+
+let flatten lid = try Longident.flatten_exn lid with Invalid_argument _ -> []
+
+(* Strip a leading [Stdlib] so [Stdlib.Random.int] and [Random.int] are
+   the same offence. *)
+let strip_stdlib = function "Stdlib" :: (_ :: _ as rest) -> rest | parts -> parts
+
+let hashtbl_ordered_ops =
+  [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+let banned_print_fns =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char"; "print_int";
+    "print_float"; "print_bytes"; "prerr_string"; "prerr_endline"; "prerr_newline";
+    "prerr_char"; "prerr_int"; "prerr_float"; "prerr_bytes"; "output_string";
+    "output_char"; "output_bytes"; "output_byte"; "output_value";
+  ]
+
+(* [check_ident parts] — which rule does this identifier occurrence break,
+   independent of file scope?  [as_value] is true when the identifier is
+   not the function position of an application (first-class use). *)
+let check_ident ~as_value parts =
+  match strip_stdlib parts with
+  | "Random" :: _ ->
+    Some
+      ( R1,
+        "Random.* bypasses the seeded PRNG; draw from Ks_stdx.Prng streams \
+         (Net.proc_rng / Net.rng) instead" )
+  | [ "Hashtbl"; op ] when List.mem op hashtbl_ordered_ops ->
+    Some
+      ( R2,
+        Printf.sprintf
+          "Hashtbl.%s visits bindings in nondeterministic bucket order; use \
+           Ks_stdx.Dtbl.iter_sorted/fold_sorted with a monomorphic comparator"
+          op )
+  | [ "MoreLabels"; "Hashtbl"; op ] when List.mem op hashtbl_ordered_ops ->
+    Some (R2, "MoreLabels.Hashtbl iteration order is nondeterministic; use Ks_stdx.Dtbl")
+  | [ "compare" ] ->
+    Some
+      ( R3,
+        "polymorphic compare walks the runtime representation; use a monomorphic \
+         comparator (Int.compare, Ks_stdx.Dtbl.*_cmp, or a hand-written one)" )
+  | [ ("=" | "<>") as op ] when as_value ->
+    Some
+      ( R3,
+        Printf.sprintf
+          "polymorphic (%s) passed as a function; use a monomorphic equality for \
+           message/event types" op )
+  | [ "Meter"; ("charge_send" | "charge_recv" | "tick_round" as fn) ]
+  | [ _; "Meter"; ("charge_send" | "charge_recv" | "tick_round" as fn) ] ->
+    Some
+      ( R4,
+        Printf.sprintf
+          "Meter.%s outside the network layer double-counts or hides bits; all \
+           sends must be priced by Net.exchange / Async_net.send" fn )
+  | [ fn ] when List.mem fn banned_print_fns ->
+    Some
+      ( R4,
+        Printf.sprintf
+          "%s writes to a raw channel from protocol code; report through the \
+           monitor hub (Ks_monitor) or return data to the harness" fn )
+  (* Format.fprintf to a caller-supplied formatter (the [pp] idiom) is
+     fine; Printf.fprintf's first argument is an out_channel, so it is not. *)
+  | [ "Printf"; ("printf" | "eprintf" | "fprintf" as fn) ]
+  | [ "Format"; ("printf" | "eprintf" as fn) ] ->
+    Some
+      ( R4,
+        Printf.sprintf
+          "Printf/Format.%s writes to a raw channel from protocol code; report \
+           through the monitor hub (Ks_monitor) instead" fn )
+  | "Unix" :: fn :: _ ->
+    Some
+      ( R5,
+        Printf.sprintf
+          "Unix.%s reaches outside the simulation (wall clock / OS state) and \
+           breaks seeded replay" fn )
+  | [ "Sys"; "time" ] ->
+    Some (R5, "Sys.time is wall-clock-dependent and breaks seeded replay")
+  | _ -> None
+
+(* --- AST traversal ----------------------------------------------------- *)
+
+let collect_structure ~path structure =
+  let diags = ref [] in
+  let flag loc (rule, message) =
+    if scope_of_rule rule path then
+      diags :=
+        { file = path; line = loc.Location.loc_start.Lexing.pos_lnum; rule; message }
+        :: !diags
+  in
+  let visit_ident ~as_value loc lid =
+    match check_ident ~as_value (flatten lid) with
+    | Some hit -> flag loc hit
+    | None -> ()
+  in
+  let iter =
+    object (self)
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        match e.pexp_desc with
+        | Pexp_apply
+            ({ pexp_desc = Pexp_ident { txt = Lident (("=" | "<>") as _op); _ }; _ }, args)
+          when List.length args >= 2 ->
+          (* Infix equality applied to two operands: allowed (its operands
+             are usually scalars; messages compared this way are caught by
+             review, not by syntax).  Only first-class uses are flagged. *)
+          List.iter (fun (_, a) -> self#expression a) args
+        | Pexp_apply (({ pexp_desc = Pexp_ident { txt; loc }; _ } as fn), args) ->
+          visit_ident ~as_value:false loc txt;
+          (* Recurse into arguments and any attributes, but not into the
+             function ident we just classified. *)
+          List.iter (fun (_, a) -> self#expression a) args;
+          self#attributes fn.pexp_attributes;
+          self#attributes e.pexp_attributes
+        | Pexp_ident { txt; loc } ->
+          visit_ident ~as_value:true loc txt;
+          super#expression e
+        | _ -> super#expression e
+    end
+  in
+  iter#structure structure;
+  List.rev !diags
+
+(* --- Suppression comments ---------------------------------------------- *)
+
+(* [(* ks_lint: allow R2 — justification *)] on the diagnostic's line or
+   the line directly above it.  The justification (any text after the rule
+   id, at least [min_justification] characters of it) is mandatory:
+   an unexplained suppression is itself a diagnostic. *)
+
+let min_justification = 8
+
+let allow_re = Str.regexp "ks_lint:[ \t]*allow[ \t]+\\(R[1-5]\\)\\([^*]*\\)"
+
+type suppression = { rules : rule list; justified : bool }
+
+let suppressions_by_line source =
+  let tbl = Hashtbl.create 8 in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let rec scan start acc =
+        match Str.search_forward allow_re line start with
+        | exception Not_found -> acc
+        | pos ->
+          let rule = rule_of_name (Str.matched_group 1 line) in
+          let rest = Str.matched_group 2 line in
+          let justification =
+            String.trim
+              (String.concat ""
+                 (String.split_on_char '-' (String.concat "" (String.split_on_char ':' rest))))
+          in
+          let entry =
+            Option.map
+              (fun r ->
+                { rules = [ r ]; justified = String.length justification >= min_justification })
+              rule
+          in
+          scan (pos + 1) (match entry with Some e -> e :: acc | None -> acc)
+      in
+      match scan 0 [] with
+      | [] -> ()
+      | entries ->
+        let rules = List.concat_map (fun e -> e.rules) entries in
+        let justified = List.for_all (fun e -> e.justified) entries in
+        Hashtbl.replace tbl lineno { rules; justified })
+    (String.split_on_char '\n' source);
+  tbl
+
+let apply_suppressions source diags =
+  let sup = suppressions_by_line source in
+  let lookup line rule =
+    let at l =
+      match Hashtbl.find_opt sup l with
+      | Some s when List.mem rule s.rules -> Some s
+      | _ -> None
+    in
+    match at line with Some s -> Some s | None -> at (line - 1)
+  in
+  List.filter_map
+    (fun d ->
+      match lookup d.line d.rule with
+      | None -> Some d
+      | Some { justified = true; _ } -> None
+      | Some { justified = false; _ } ->
+        Some
+          { d with
+            message =
+              Printf.sprintf
+                "suppression of %s lacks a justification — write (* ks_lint: allow %s \
+                 — why this use is sound *)"
+                (rule_name d.rule) (rule_name d.rule) })
+    diags
+
+(* --- Entry points ------------------------------------------------------ *)
+
+type file_result = Clean | Diagnostics of diagnostic list | Parse_error of string
+
+let lint_source ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | exception exn ->
+    Parse_error (Printf.sprintf "%s: cannot parse: %s" path (Printexc.to_string exn))
+  | structure ->
+    (match apply_suppressions source (collect_structure ~path structure) with
+     | [] -> Clean
+     | diags -> Diagnostics diags)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path = lint_source ~path (read_file path)
+
+(* Recursively collect the .ml files under [path] (a file or directory),
+   skipping build artefacts and hidden directories. *)
+let rec ml_files path =
+  if Sys.is_directory path then begin
+    let base = Filename.basename path in
+    if base = "_build" || base = "_opam" || (String.length base > 0 && base.[0] = '.')
+    then []
+    else
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.concat_map (fun entry -> ml_files (Filename.concat path entry))
+  end
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+type summary = { files : int; diagnostics : diagnostic list; errors : string list }
+
+let lint_paths paths =
+  let files = List.concat_map ml_files paths in
+  let diagnostics = ref [] and errors = ref [] in
+  List.iter
+    (fun f ->
+      match lint_file f with
+      | Clean -> ()
+      | Diagnostics ds -> diagnostics := ds :: !diagnostics
+      | Parse_error e -> errors := e :: !errors
+      | exception Sys_error e -> errors := e :: !errors)
+    files;
+  {
+    files = List.length files;
+    diagnostics = List.concat (List.rev !diagnostics);
+    errors = List.rev !errors;
+  }

@@ -48,7 +48,6 @@ let linear_fit xs ys =
   let n = Array.length xs in
   if n <> Array.length ys then invalid_arg "Stats.linear_fit: length mismatch";
   if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
-  let nf = float_of_int n in
   let mx = mean xs and my = mean ys in
   let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
   for i = 0 to n - 1 do
@@ -57,7 +56,6 @@ let linear_fit xs ys =
     sxy := !sxy +. (dx *. dy);
     syy := !syy +. (dy *. dy)
   done;
-  ignore nf;
   let b = if !sxx = 0.0 then 0.0 else !sxy /. !sxx in
   let a = my -. (b *. mx) in
   let r2 =

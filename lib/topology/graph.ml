@@ -3,10 +3,9 @@ type t = { size : int; adj : int array array }
 let of_edge_sets size sets =
   let adj =
     Array.init size (fun v ->
-        let neighbours =
-          List.sort_uniq compare (Hashtbl.fold (fun u () acc -> u :: acc) sets.(v) [])
-        in
-        Array.of_list neighbours)
+        (* [sets.(v)] is replace-populated, so the sorted keys are already
+           distinct; [adjacent]'s binary search needs them ascending. *)
+        Array.of_list (Ks_stdx.Dtbl.sorted_keys ~cmp:Ks_stdx.Dtbl.int_cmp sets.(v)))
   in
   { size; adj }
 

@@ -629,10 +629,6 @@ let t9_threshold ?(n = 64) ?(seeds = [ 1; 2; 3 ]) () =
             (fun seed ->
               let rng = Prng.create (seed_of n (seed + 999)) in
               let inputs = Inputs.generate rng ~n Inputs.Split in
-              let tree =
-                Ks_topology.Tree.build (Prng.split rng)
-                  (Ks_core.Params.tree_config params)
-              in
               let sc = Attacks.byzantine_static in
               let strategy =
                 Ks_sim.Adversary.make ~name:"static"
@@ -641,7 +637,6 @@ let t9_threshold ?(n = 64) ?(seeds = [ 1; 2; 3 ]) () =
                       ~budget:(Stdlib.min budget b))
                   ()
               in
-              ignore tree;
               Ks_core.Everywhere.run ~params ~seed:(seed_of n (seed + 999)) ~inputs
                 ~behavior:sc.Attacks.behavior ~tree_strategy:strategy
                 ~a2e_strategy:(fun ~carried ~coin:_ ->

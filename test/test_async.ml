@@ -1,6 +1,5 @@
 module Anet = Ks_async.Async_net
 module Aba = Ks_async.Async_ba
-module Prng = Ks_stdx.Prng
 open Ks_sim.Types
 
 let envelope src dst payload = { src; dst; payload }

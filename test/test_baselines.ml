@@ -2,7 +2,6 @@ module Rabin = Ks_baselines.Rabin
 module Pk = Ks_baselines.Phase_king
 module Bo = Ks_baselines.Ben_or
 module Outcome = Ks_baselines.Outcome
-module Prng = Ks_stdx.Prng
 
 let inputs_split n = Array.init n (fun i -> i mod 2 = 0)
 let inputs_const n v = Array.make n v

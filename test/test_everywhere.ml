@@ -1,5 +1,4 @@
 module E = Ks_core.Everywhere
-module Comm = Ks_core.Comm
 module Params = Ks_core.Params
 module Attacks = Ks_workload.Attacks
 module Inputs = Ks_workload.Inputs

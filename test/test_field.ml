@@ -180,8 +180,8 @@ let prop_linalg_random_solve =
 let () =
   Alcotest.run "field"
     [
-      ("zp-axioms", List.map QCheck_alcotest.to_alcotest Zp_axioms.tests);
-      ("gf256-axioms", List.map QCheck_alcotest.to_alcotest Gf_axioms.tests);
+      ("zp-axioms", List.map (fun t -> QCheck_alcotest.to_alcotest t) Zp_axioms.tests);
+      ("gf256-axioms", List.map (fun t -> QCheck_alcotest.to_alcotest t) Gf_axioms.tests);
       ( "edges",
         [
           Alcotest.test_case "zp edges" `Quick test_zp_edge;

@@ -9,7 +9,6 @@ module Monitor = Ks_monitor.Monitor
 module Hub = Ks_monitor.Hub
 module Attacks = Ks_workload.Attacks
 module Params = Ks_core.Params
-module Prng = Ks_stdx.Prng
 open Ks_sim.Types
 
 (* --- JSON round-trip ------------------------------------------------- *)

@@ -256,6 +256,42 @@ let prop_wire_truncation_robust =
       try List.for_all (read_op_matches r) ops || cut < Bytes.length full
       with Wire.Reader.Truncated -> cut < Bytes.length full)
 
+(* --- Dtbl: deterministic hashtable traversal (lint rule R2's cure) --- *)
+
+let test_dtbl_sorted () =
+  let tbl = Hashtbl.create 8 in
+  (* Insertion order deliberately scrambled. *)
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) [ (5, "e"); (1, "a"); (9, "i"); (3, "c") ]
+  ;
+  Alcotest.(check (list int))
+    "sorted_keys ascending" [ 1; 3; 5; 9 ]
+    (Ks_stdx.Dtbl.sorted_keys ~cmp:Ks_stdx.Dtbl.int_cmp tbl);
+  Alcotest.(check (list (pair int string)))
+    "bindings_sorted" [ (1, "a"); (3, "c"); (5, "e"); (9, "i") ]
+    (Ks_stdx.Dtbl.bindings_sorted ~cmp:Ks_stdx.Dtbl.int_cmp tbl);
+  let visited = ref [] in
+  Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.int_cmp
+    (fun k _ -> visited := k :: !visited)
+    tbl;
+  Alcotest.(check (list int)) "iter_sorted order" [ 9; 5; 3; 1 ] !visited;
+  Alcotest.(check string) "fold_sorted accumulates in key order" "acei"
+    (Ks_stdx.Dtbl.fold_sorted ~cmp:Ks_stdx.Dtbl.int_cmp (fun _ v acc -> acc ^ v) tbl "")
+
+let test_dtbl_comparators () =
+  let sorted cmp l = List.sort cmp l in
+  Alcotest.(check (list (pair int int)))
+    "pair_cmp lexicographic"
+    [ (1, 2); (1, 9); (2, 0) ]
+    (sorted Ks_stdx.Dtbl.pair_cmp [ (2, 0); (1, 9); (1, 2) ]);
+  Alcotest.(check bool) "triple_cmp equal" true
+    (Ks_stdx.Dtbl.triple_cmp (1, 2, 3) (1, 2, 3) = 0);
+  Alcotest.(check bool) "triple_cmp third component decides" true
+    (Ks_stdx.Dtbl.triple_cmp (1, 2, 3) (1, 2, 4) < 0);
+  Alcotest.(check bool) "int_list_cmp prefix is smaller" true
+    (Ks_stdx.Dtbl.int_list_cmp [ 1; 2 ] [ 1; 2; 0 ] < 0);
+  Alcotest.(check bool) "int_list_cmp lexicographic" true
+    (Ks_stdx.Dtbl.int_list_cmp [ 1; 3 ] [ 1; 2; 9 ] > 0)
+
 let () =
   Alcotest.run "stdx"
     [
@@ -286,6 +322,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_isqrt;
         ] );
       ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+      ( "dtbl",
+        [
+          Alcotest.test_case "sorted traversal" `Quick test_dtbl_sorted;
+          Alcotest.test_case "comparators" `Quick test_dtbl_comparators;
+        ] );
       ( "wire",
         [
           Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
