@@ -1,8 +1,8 @@
 (** Signature of a finite field, as required by secret sharing and
     Reed–Solomon decoding.
 
-    Elements are represented by a canonical [t]; [of_int] reduces an
-    arbitrary non-negative integer into the field, and [to_int] returns the
+    Elements are represented by a canonical [t]; [of_int] injects an
+    integer in [0, order) into the field, and [to_int] returns the
     canonical representative in [0, order). *)
 
 module type S = sig
@@ -15,9 +15,9 @@ module type S = sig
   val zero : t
   val one : t
 
-  (** [of_int k] for [k >= 0] reduces [k] modulo the field (for prime
-      fields) or truncates to the element range (for binary fields).
-      Raises [Invalid_argument] on negative input. *)
+  (** [of_int k] for [0 <= k < order] is the corresponding field element.
+      Raises [Invalid_argument] outside that range — silent truncation or
+      reduction would let distinct protocol words alias the same share. *)
   val of_int : int -> t
 
   val to_int : t -> int

@@ -27,7 +27,8 @@ let exp_table, log_table =
 
 let of_int k =
   if k < 0 then invalid_arg "Gf256.of_int: negative";
-  k land 0xFF
+  if k >= 256 then invalid_arg "Gf256.of_int: out of range";
+  k
 
 let to_int x = x
 let equal = Int.equal

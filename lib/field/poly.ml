@@ -105,20 +105,61 @@ module Make (F : Field_intf.S) = struct
     in
     List.fold_left (fun acc pt -> add acc (basis pt)) zero pts
 
-  let lagrange_eval pts x =
+  (* Montgomery batch inversion: invert k nonzero elements with a single
+     field inversion and 3(k-1) multiplications. *)
+  let batch_inv a =
+    let k = Array.length a in
+    if k = 0 then [||]
+    else begin
+      let prefix = Array.make k F.one in
+      prefix.(0) <- a.(0);
+      for i = 1 to k - 1 do
+        prefix.(i) <- F.mul prefix.(i - 1) a.(i)
+      done;
+      let out = Array.make k F.zero in
+      let inv_tail = ref (F.inv prefix.(k - 1)) in
+      for i = k - 1 downto 1 do
+        out.(i) <- F.mul !inv_tail prefix.(i - 1);
+        inv_tail := F.mul !inv_tail a.(i)
+      done;
+      out.(0) <- !inv_tail;
+      out
+    end
+
+  let evaluator pts =
     check_distinct pts;
-    let term (xi, yi) =
-      let num, denom =
-        List.fold_left
-          (fun (num, denom) (xj, _) ->
-            if F.equal xi xj then (num, denom)
-            else (F.mul num (F.sub x xj), F.mul denom (F.sub xi xj)))
-          (F.one, F.one)
-          pts
-      in
-      F.mul yi (F.div num denom)
+    let pts = Array.of_list pts in
+    let k = Array.length pts in
+    let xs = Array.map fst pts in
+    (* Barycentric-style precomputation: c_i = y_i / prod_{j<>i} (x_i -
+       x_j), one batch inversion for the whole point set. *)
+    let denoms =
+      Array.mapi
+        (fun i xi ->
+          let d = ref F.one in
+          Array.iteri (fun j xj -> if j <> i then d := F.mul !d (F.sub xi xj)) xs;
+          !d)
+        xs
     in
-    List.fold_left (fun acc pt -> F.add acc (term pt)) F.zero pts
+    let inv_denoms = batch_inv denoms in
+    let cs = Array.mapi (fun i (_, yi) -> F.mul yi inv_denoms.(i)) pts in
+    fun x ->
+      (* p(x) = sum_i c_i * prod_{j<>i} (x - x_j), with the hole products
+         from prefix/suffix arrays: O(k) multiplications, no division.
+         At x = x_i every other term vanishes and the sum is y_i. *)
+      let prefix = Array.make (k + 1) F.one in
+      for i = 0 to k - 1 do
+        prefix.(i + 1) <- F.mul prefix.(i) (F.sub x xs.(i))
+      done;
+      let acc = ref F.zero in
+      let suffix = ref F.one in
+      for i = k - 1 downto 0 do
+        acc := F.add !acc (F.mul cs.(i) (F.mul prefix.(i) !suffix));
+        suffix := F.mul !suffix (F.sub x xs.(i))
+      done;
+      !acc
+
+  let lagrange_eval pts x = evaluator pts x
 
   let pp fmt t =
     if Array.length t = 0 then Format.fprintf fmt "0"

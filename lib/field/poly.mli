@@ -35,8 +35,22 @@ module Make (F : Field_intf.S) : sig
       or an empty list. *)
   val interpolate : (F.t * F.t) list -> t
 
+  (** [batch_inv a] — pointwise inverses of an array of nonzero elements
+      using Montgomery's trick: one field inversion plus [3(k-1)]
+      multiplications.  Raises [Division_by_zero] if any entry is zero. *)
+  val batch_inv : F.t array -> F.t array
+
+  (** [evaluator pts] precomputes barycentric weights for the point set
+      (one batch inversion, O(k²) multiplications) and returns a closure
+      evaluating the interpolating polynomial at any [x] in O(k)
+      multiplications with no division — the right shape when one support
+      set is evaluated at many points (robust decoding, share
+      verification).  Raises like {!interpolate} on bad point sets. *)
+  val evaluator : (F.t * F.t) list -> F.t -> F.t
+
   (** [lagrange_eval pts x] evaluates the interpolating polynomial at [x]
-      directly (O(k²) field operations, no intermediate polynomial). *)
+      directly, without building the intermediate polynomial (a one-shot
+      {!evaluator}). *)
   val lagrange_eval : (F.t * F.t) list -> F.t -> F.t
 
   val pp : Format.formatter -> t -> unit

@@ -8,7 +8,8 @@ let one = 1
 
 let of_int k =
   if k < 0 then invalid_arg "Zp.of_int: negative";
-  k mod p
+  if k >= p then invalid_arg "Zp.of_int: out of range";
+  k
 
 let to_int x = x
 let equal = Int.equal
@@ -23,7 +24,15 @@ let sub a b =
 
 let neg a = if a = 0 then 0 else p - a
 
-let mul a b = a * b mod p
+(* Mersenne reduction: since 2^31 = 1 (mod p), fold the high bits onto
+   the low ones instead of dividing.  For canonical inputs the product is
+   < 2^62, so two folds bring it under 2p and one conditional subtract
+   canonicalises — no hardware [mod] on the hot path. *)
+let mul a b =
+  let x = a * b in
+  let x = (x land p) + (x lsr 31) in
+  let x = (x land p) + (x lsr 31) in
+  if x >= p then x - p else x
 
 let pow x e =
   if e < 0 then invalid_arg "Zp.pow: negative exponent";

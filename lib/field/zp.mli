@@ -3,7 +3,9 @@
     This is the field used for all secret sharing in the protocol stack:
     its order comfortably exceeds any number of share holders we simulate,
     and products of two canonical representatives fit in OCaml's native
-    63-bit integers, so arithmetic needs no boxing. *)
+    63-bit integers, so arithmetic needs no boxing.  Because p is a
+    Mersenne prime, multiplication reduces with shifts and adds (2^31 = 1
+    mod p) rather than a hardware division. *)
 
 include Field_intf.S with type t = int
 (** The representation is exposed as the canonical representative in

@@ -21,17 +21,33 @@ module Make (F : Ks_field.Field_intf.S) = struct
     let poly = P.random rng ~degree:threshold ~const:secret in
     Array.map (fun index -> { index; value = P.eval poly (point index) }) xs
 
-  (* Keep one share per distinct index, in first-seen order. *)
+  (* Keep one share per distinct index, in first-seen order.  Protocol
+     indices are small, so a one-word bitmask usually replaces the
+     hashtable; the hashtable remains for out-of-range indices. *)
   let dedup shares =
-    let seen = Hashtbl.create 16 in
-    List.filter
-      (fun s ->
-        if Hashtbl.mem seen s.index then false
-        else begin
-          Hashtbl.add seen s.index ();
-          true
-        end)
-      shares
+    if List.for_all (fun s -> s.index >= 0 && s.index < 63) shares then begin
+      let seen = ref 0 in
+      List.filter
+        (fun s ->
+          let bit = 1 lsl s.index in
+          if !seen land bit <> 0 then false
+          else begin
+            seen := !seen lor bit;
+            true
+          end)
+        shares
+    end
+    else begin
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun s ->
+          if Hashtbl.mem seen s.index then false
+          else begin
+            Hashtbl.add seen s.index ();
+            true
+          end)
+        shares
+    end
 
   let reconstruct ~threshold shares =
     let shares = dedup shares in
@@ -58,14 +74,26 @@ module Make (F : Ks_field.Field_intf.S) = struct
           0 pts
       in
       let try_e e =
-        (* Unknowns: q_0..q_{k-1+e}, e_0..e_{e-1}; E = X^e + sum e_j X^j. *)
+        (* Unknowns: q_0..q_{k-1+e}, e_0..e_{e-1}; E = X^e + sum e_j X^j.
+           Rows are built with running powers — per-entry [F.pow] would
+           redo a square-and-multiply ladder for every cell. *)
         let nq = k + e in
         let ncols = nq + e in
         let a =
           Array.init m (fun i ->
               let x, y = pts.(i) in
-              Array.init ncols (fun c ->
-                  if c < nq then F.pow x c else F.neg (F.mul y (F.pow x (c - nq)))))
+              let row = Array.make ncols F.zero in
+              let xp = ref F.one in
+              for c = 0 to nq - 1 do
+                row.(c) <- !xp;
+                xp := F.mul !xp x
+              done;
+              let xp = ref F.one in
+              for c = nq to ncols - 1 do
+                row.(c) <- F.neg (F.mul y !xp);
+                xp := F.mul !xp x
+              done;
+              row)
         in
         let b =
           Array.init m (fun i ->
@@ -106,7 +134,13 @@ module Make (F : Ks_field.Field_intf.S) = struct
      supporters.  This decodes far beyond the half-distance radius when
      corruption is uncoordinated, yet a coordinated wrong codeword must
      out-support the truth to win — impossible while honest pieces hold a
-     majority — and an exact tie yields None rather than a guess. *)
+     majority — and an exact tie yields None rather than a guess.
+
+     The accepted codeword is returned as an evaluation closure rather
+     than a coefficient vector: every caller only ever evaluates it (at
+     zero, or at the holder points), and the winning window's barycentric
+     evaluator is already in hand when the decision falls — interpolating
+     coefficients would redo that work with k extra inversions. *)
   let best_codeword ~threshold pts =
     let m = Array.length pts in
     let k = threshold + 1 in
@@ -114,7 +148,7 @@ module Make (F : Ks_field.Field_intf.S) = struct
     else if m > 62 then
       (* Bitmask support sets need m to fit an int; fall back to plain
          Berlekamp–Welch for very wide deals (not used by the protocol). *)
-      berlekamp_welch_poly ~threshold pts
+      Option.map P.eval (berlekamp_welch_poly ~threshold pts)
     else begin
       let e_max = (m - k) / 2 in
       (* Within the classical radius the codeword is unique — accept
@@ -140,67 +174,85 @@ module Make (F : Ks_field.Field_intf.S) = struct
         let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
         List.filter (fun s -> s < m && m / gcd s m >= k) [ 1; 3; 7; 11; 13 ]
       in
-      let subsets =
-        List.concat_map
-          (fun s -> List.init m (fun start -> Array.init k (fun j -> (start + (j * s)) mod m)))
-          strides
-      in
       (* Track the two best distinct codewords (a support mask of >= k+1
          points identifies a codeword uniquely). *)
       let best = ref (0, 0) and second_count = ref 0 in
       let winner = ref None in
       let eval_of_subset idx =
-        let weights =
-          Array.map
-            (fun i ->
-              let xi, yi = pts.(i) in
-              let den = ref F.one in
-              Array.iter
-                (fun j ->
-                  if j <> i then begin
-                    let xj, _ = pts.(j) in
-                    den := F.mul !den (F.sub xi xj)
-                  end)
-                idx;
-              F.div yi !den)
-            idx
+        (* Lagrange through the window, in barycentric form: weights with
+           one batch inversion up front, then O(k) multiplications per
+           evaluation via prefix/suffix hole products (no division). *)
+        let sub_xs = Array.map (fun i -> fst pts.(i)) idx in
+        let denoms =
+          Array.mapi
+            (fun a xa ->
+              let d = ref F.one in
+              Array.iteri
+                (fun b xb -> if b <> a then d := F.mul !d (F.sub xa xb))
+                sub_xs;
+              !d)
+            sub_xs
         in
+        let inv_denoms = P.batch_inv denoms in
+        let cs = Array.mapi (fun a i -> F.mul (snd pts.(i)) inv_denoms.(a)) idx in
+        let prefix = Array.make (k + 1) F.one in
         fun x ->
-          let acc = ref F.zero in
           for a = 0 to k - 1 do
-            let prod = ref weights.(a) in
-            for b = 0 to k - 1 do
-              if b <> a then begin
-                let xb, _ = pts.(idx.(b)) in
-                prod := F.mul !prod (F.sub x xb)
-              end
-            done;
-            acc := F.add !acc !prod
+            prefix.(a + 1) <- F.mul prefix.(a) (F.sub x sub_xs.(a))
+          done;
+          let acc = ref F.zero in
+          let suffix = ref F.one in
+          for a = k - 1 downto 0 do
+            acc := F.add !acc (F.mul cs.(a) (F.mul prefix.(a) !suffix));
+            suffix := F.mul !suffix (F.sub x sub_xs.(a))
           done;
           !acc
       in
-      let rec scan = function
-        | [] -> ()
-        | idx :: rest ->
-          let eval = eval_of_subset idx in
-          let mask, count = support_of eval in
-          if count >= radius_accept then winner := Some idx
-          else begin
-            let bmask, bcount = !best in
-            if mask <> bmask then begin
-              if count > bcount then begin
-                if bcount > !second_count then second_count := bcount;
-                best := (mask, count)
+      (* Support masks of codewords already scored.  A window lying wholly
+         inside a scored codeword's support interpolates that very
+         codeword (k points pin a degree-(k-1) polynomial), and re-scoring
+         a codeword never changes the best/second tracking — so skip the
+         whole derivation.  Distinct strides rediscover the same windows
+         constantly, which made this the dominant cost.  Windows are
+         generated lazily, stride by stride in scan order: the mask check
+         runs before the index array is even materialised, and an
+         in-radius acceptance stops the sweep immediately. *)
+      let seen = ref [] in
+      let stopped = ref false in
+      List.iter
+        (fun s ->
+          let start = ref 0 in
+          while (not !stopped) && !start < m do
+            let wmask = ref 0 in
+            for j = 0 to k - 1 do
+              wmask := !wmask lor (1 lsl ((!start + (j * s)) mod m))
+            done;
+            let wmask = !wmask in
+            if not (List.exists (fun msk -> msk lor wmask = msk) !seen) then begin
+              let idx = Array.init k (fun j -> (!start + (j * s)) mod m) in
+              let eval = eval_of_subset idx in
+              let mask, count = support_of eval in
+              if count >= radius_accept then begin
+                winner := Some eval;
+                stopped := true
               end
-              else if count > !second_count then second_count := count
+              else begin
+                seen := mask :: !seen;
+                let bmask, bcount = !best in
+                if mask <> bmask then begin
+                  if count > bcount then begin
+                    if bcount > !second_count then second_count := bcount;
+                    best := (mask, count)
+                  end
+                  else if count > !second_count then second_count := count
+                end
+              end
             end;
-            scan rest
-          end
-      in
-      scan subsets;
+            incr start
+          done)
+        strides;
       match !winner with
-      | Some idx ->
-        Some (P.interpolate (List.map (fun i -> pts.(i)) (Array.to_list idx)))
+      | Some eval -> Some eval
       | None ->
         (* Berlekamp–Welch as a last candidate, then the tie rule. *)
         let bw = berlekamp_welch_poly ~threshold pts in
@@ -214,16 +266,16 @@ module Make (F : Ks_field.Field_intf.S) = struct
         let bmask, bcount = !best in
         (match bw_scored with
          | Some (poly, mask, count) when mask <> bmask && count > bcount ->
-           if count >= k + 1 && count > bcount then Some poly else None
+           if count >= k + 1 && count > bcount then Some (P.eval poly) else None
          | _ ->
            if bcount >= k + 1 && bcount > !second_count then begin
-             (* Rebuild the best window's polynomial from its support. *)
+             (* Rebuild the best window's codeword from its support. *)
              let pts_of_mask =
                List.filteri (fun i _ -> bmask land (1 lsl i) <> 0)
                  (Array.to_list pts)
              in
              let chosen = List.filteri (fun i _ -> i < k) pts_of_mask in
-             Some (P.interpolate chosen)
+             Some (P.evaluator chosen)
            end
            else None)
     end
@@ -231,7 +283,7 @@ module Make (F : Ks_field.Field_intf.S) = struct
   let reconstruct_robust ~threshold shares =
     let shares = dedup shares in
     let pts = Array.of_list (List.map (fun s -> (point s.index, s.value)) shares) in
-    Option.map (fun p -> P.eval p F.zero) (best_codeword ~threshold pts)
+    Option.map (fun eval -> eval F.zero) (best_codeword ~threshold pts)
 
   let deal_vector rng ~threshold ~holders words =
     let per_word = Array.map (fun w -> deal rng ~threshold ~holders w) words in
@@ -253,9 +305,14 @@ module Make (F : Ks_field.Field_intf.S) = struct
   let reconstruct_vector_robust ~threshold per_word =
     reconstruct_with reconstruct_robust ~threshold per_word
 
-  (* Lagrange coefficients at zero for a point set given as x-indices. *)
+  (* Lagrange coefficients at zero for a point set given as x-indices,
+     with the k divisions collapsed into one batch inversion.  These
+     weights are computed once per verification subset and reused for
+     every word of the vector. *)
   let weights_at_zero xs =
-    Array.mapi
+    let nums = Array.make (Array.length xs) F.one in
+    let denoms = Array.make (Array.length xs) F.one in
+    Array.iteri
       (fun i xi ->
         let pi = point xi in
         let num = ref F.one and denom = ref F.one in
@@ -267,25 +324,37 @@ module Make (F : Ks_field.Field_intf.S) = struct
               denom := F.mul !denom (F.sub pj pi)
             end)
           xs;
-        F.div !num !denom)
-      xs
-
-  let dot weights values =
-    let acc = ref F.zero in
-    Array.iteri (fun i w -> acc := F.add !acc (F.mul w values.(i))) weights;
-    !acc
+        nums.(i) <- !num;
+        denoms.(i) <- !denom)
+      xs;
+    let inv_denoms = P.batch_inv denoms in
+    Array.mapi (fun i num -> F.mul num inv_denoms.(i)) nums
 
   let reconstruct_vectors ~threshold holders =
-    let seen = Hashtbl.create 16 in
     let holders =
-      List.filter
-        (fun (x, _) ->
-          if Hashtbl.mem seen x then false
-          else begin
-            Hashtbl.add seen x ();
-            true
-          end)
-        holders
+      if List.for_all (fun (x, _) -> x >= 0 && x < 63) holders then begin
+        let seen = ref 0 in
+        List.filter
+          (fun (x, _) ->
+            let bit = 1 lsl x in
+            if !seen land bit <> 0 then false
+            else begin
+              seen := !seen lor bit;
+              true
+            end)
+          holders
+      end
+      else begin
+        let seen = Hashtbl.create 16 in
+        List.filter
+          (fun (x, _) ->
+            if Hashtbl.mem seen x then false
+            else begin
+              Hashtbl.add seen x ();
+              true
+            end)
+          holders
+      end
     in
     let m = List.length holders in
     let k = threshold + 1 in
@@ -308,17 +377,21 @@ module Make (F : Ks_field.Field_intf.S) = struct
            slow path decodes the probe with Berlekamp–Welch. *)
         let honest =
           let first_k = Array.to_list (Array.sub probe_pts 0 k) in
+          (* One evaluator for the probe subset, shared across all m
+             support checks: O(k) per point instead of a fresh O(k²)
+             Lagrange sum with per-term divisions. *)
+          let eval_first_k = P.evaluator first_k in
           let unanimous =
-            Array.for_all (fun (x, y) -> F.equal (P.lagrange_eval first_k x) y) probe_pts
+            Array.for_all (fun (x, y) -> F.equal (eval_first_k x) y) probe_pts
           in
           if unanimous then Some (Array.init m (fun i -> i))
           else
             match best_codeword ~threshold probe_pts with
             | None -> None
-            | Some poly ->
+            | Some eval ->
               let fit = ref [] in
               Array.iteri
-                (fun i (x, y) -> if F.equal (P.eval poly x) y then fit := i :: !fit)
+                (fun i (x, y) -> if F.equal (eval x) y then fit := i :: !fit)
                 probe_pts;
               Some (Array.of_list (List.rev !fit))
         in
@@ -333,23 +406,31 @@ module Make (F : Ks_field.Field_intf.S) = struct
           let sub_a = Array.sub fit 0 k in
           let sub_b = Array.sub fit (nfit - k) k in
           let xs_of sub = Array.map (fun i -> xs.(i)) sub in
-          let w_a = weights_at_zero (xs_of sub_a) in
-          let w_b = weights_at_zero (xs_of sub_b) in
           let same_subsets = nfit = k in
+          let w_a = weights_at_zero (xs_of sub_a) in
+          (* The second subset only matters when it differs from the
+             first; its weights go unused otherwise. *)
+          let w_b = if same_subsets then w_a else weights_at_zero (xs_of sub_b) in
+          (* Weighted sum straight out of the holder vectors — no per-word
+             value array. *)
+          let dot_sub weights sub w =
+            let acc = ref F.zero in
+            for i = 0 to k - 1 do
+              acc := F.add !acc (F.mul weights.(i) vs.(sub.(i)).(w))
+            done;
+            !acc
+          in
           let out = Array.make words F.zero in
           let ok = ref true in
           for w = 0 to words - 1 do
             if !ok then begin
-              let vals_of sub = Array.map (fun i -> vs.(i).(w)) sub in
-              let va = dot w_a (vals_of sub_a) in
-              let agreed =
-                same_subsets || F.equal va (dot w_b (vals_of sub_b))
-              in
+              let va = dot_sub w_a sub_a w in
+              let agreed = same_subsets || F.equal va (dot_sub w_b sub_b w) in
               if agreed then out.(w) <- va
               else begin
                 let pts = Array.map2 (fun x v -> (point x, v.(w))) xs vs in
                 match best_codeword ~threshold pts with
-                | Some poly -> out.(w) <- P.eval poly F.zero
+                | Some eval -> out.(w) <- eval F.zero
                 | None -> ok := false
               end
             end

@@ -152,50 +152,47 @@ let exchange t outgoing =
     List.filter (fun e -> t.corrupt.(e.src) && e.dst >= 0 && e.dst < t.size)
       (t.strategy.act (make_view t good_outgoing))
   in
-  (* Accounting: good senders pay for their bits. *)
+  (* Accounting and delivery in one pass: each payload is measured once,
+     the sender pays, the (good) receiver is charged, and the per-round
+     totals for Round_end accumulate alongside instead of being re-folded
+     over the payloads afterwards. *)
+  let inboxes = Array.make t.size [] in
+  let deliver e ~bits =
+    inboxes.(e.dst) <- e :: inboxes.(e.dst);
+    if not t.corrupt.(e.dst) then Meter.charge_recv t.meter e.dst ~bits
+  in
+  let good_count = ref 0 and good_bits = ref 0 in
   List.iter
     (fun e ->
       let bits = t.msg_bits e.payload in
+      incr good_count;
+      good_bits := !good_bits + bits;
       Meter.charge_send t.meter e.src ~bits;
       emit t
         (Ks_monitor.Event.Send
-           { net = t.net_id; round = t.round; src = e.src; dst = e.dst; bits; adv = false }))
+           { net = t.net_id; round = t.round; src = e.src; dst = e.dst; bits; adv = false });
+      deliver e ~bits)
     good_outgoing;
-  (* Delivery. *)
-  let inboxes = Array.make t.size [] in
-  let deliver e =
-    inboxes.(e.dst) <- e :: inboxes.(e.dst);
-    if not t.corrupt.(e.dst) then
-      Meter.charge_recv t.meter e.dst ~bits:(t.msg_bits e.payload)
-  in
-  List.iter deliver good_outgoing;
+  let adv_count = ref 0 and adv_bits = ref 0 in
   List.iter
     (fun e ->
+      let bits = t.msg_bits e.payload in
+      incr adv_count;
+      adv_bits := !adv_bits + bits;
       emit t
         (Ks_monitor.Event.Send
-           { net = t.net_id; round = t.round; src = e.src; dst = e.dst;
-             bits = t.msg_bits e.payload; adv = true });
-      deliver e)
+           { net = t.net_id; round = t.round; src = e.src; dst = e.dst; bits; adv = true });
+      deliver e ~bits)
     adversarial;
   (* Reverse so good messages appear first, in send order. *)
   let inboxes = Array.map List.rev inboxes in
   (match t.hub with
    | None -> ()
    | Some _ ->
-     let count, bits =
-       List.fold_left
-         (fun (c, b) e -> (c + 1, b + t.msg_bits e.payload))
-         (0, 0) good_outgoing
-     in
-     let adv_count, adv_bits =
-       List.fold_left
-         (fun (c, b) e -> (c + 1, b + t.msg_bits e.payload))
-         (0, 0) adversarial
-     in
      emit t
        (Ks_monitor.Event.Round_end
-          { net = t.net_id; round = t.round; msgs = count; bits; adv_msgs = adv_count;
-            adv_bits }));
+          { net = t.net_id; round = t.round; msgs = !good_count; bits = !good_bits;
+            adv_msgs = !adv_count; adv_bits = !adv_bits }));
   Meter.tick_round t.meter;
   t.round <- t.round + 1;
   inboxes

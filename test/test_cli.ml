@@ -54,7 +54,14 @@ let test_bench_unknown_flag () =
   check_usage "bench unknown table" (run (bench ^ " --table t99")) ~expect_code:2;
   check_usage "bench missing table name" (run (bench ^ " --table")) ~expect_code:2;
   check_usage "bench trailing junk" (run (bench ^ " --quick --junk")) ~expect_code:2;
-  check_usage "bench --trace without file" (run (bench ^ " --trace")) ~expect_code:2
+  check_usage "bench --trace without file" (run (bench ^ " --trace")) ~expect_code:2;
+  check_usage "bench --json without file" (run (bench ^ " --json")) ~expect_code:2;
+  check_usage "bench --baseline without --json"
+    (run (bench ^ " --baseline some.json"))
+    ~expect_code:2;
+  check_usage "bench --enforce-baseline without --json"
+    (run (bench ^ " --enforce-baseline"))
+    ~expect_code:2
 
 let test_ks_lint_cli () =
   check_usage "ks_lint unknown option" (run (ks_lint ^ " --bogus")) ~expect_code:2;

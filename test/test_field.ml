@@ -69,7 +69,45 @@ let test_zp_edge () =
   Alcotest.(check int) "p-1 + 1 = 0" 0 (Zp.to_int (Zp.add (Zp.of_int (Zp.p - 1)) Zp.one));
   Alcotest.(check int) "neg zero" 0 (Zp.to_int (Zp.neg Zp.zero));
   Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Zp.inv Zp.zero));
-  Alcotest.(check int) "of_int reduces" 1 (Zp.to_int (Zp.of_int (Zp.p + 1)))
+  (* Mersenne-reduction edges: operands near p whose raw product exercises
+     both folds, pinned against slow bona-fide modular arithmetic. *)
+  List.iter
+    (fun (a, b) ->
+      let slow = a * b mod Zp.p in
+      Alcotest.(check int)
+        (Printf.sprintf "mul %d*%d" a b)
+        slow
+        (Zp.to_int (Zp.mul (Zp.of_int a) (Zp.of_int b))))
+    [
+      (Zp.p - 1, Zp.p - 1);
+      (Zp.p - 1, 1);
+      (Zp.p - 2, Zp.p - 2);
+      (1 lsl 30, 1 lsl 30);
+      ((1 lsl 30) + 12345, (1 lsl 30) - 54321);
+      (0, Zp.p - 1);
+    ]
+
+(* of_int must reject anything outside [0, order) for both fields: silent
+   truncation (the old Gf256 [land 0xFF]) or reduction (the old Zp [mod])
+   would let distinct wire words alias the same field element. *)
+let test_of_int_boundaries () =
+  Alcotest.(check int) "Zp order-1 accepted" (Zp.p - 1) (Zp.to_int (Zp.of_int (Zp.p - 1)));
+  Alcotest.check_raises "Zp order rejected" (Invalid_argument "Zp.of_int: out of range")
+    (fun () -> ignore (Zp.of_int Zp.p));
+  Alcotest.check_raises "Zp order+1 rejected" (Invalid_argument "Zp.of_int: out of range")
+    (fun () -> ignore (Zp.of_int (Zp.p + 1)));
+  Alcotest.check_raises "Zp negative rejected" (Invalid_argument "Zp.of_int: negative")
+    (fun () -> ignore (Zp.of_int (-1)));
+  Alcotest.(check int) "Gf256 255 accepted" 255 (Gf256.to_int (Gf256.of_int 255));
+  Alcotest.check_raises "Gf256 256 rejected"
+    (Invalid_argument "Gf256.of_int: out of range") (fun () ->
+      ignore (Gf256.of_int 256));
+  Alcotest.check_raises "Gf256 0x157 rejected (would truncate to 0x57)"
+    (Invalid_argument "Gf256.of_int: out of range") (fun () ->
+      ignore (Gf256.of_int 0x157));
+  Alcotest.check_raises "Gf256 negative rejected"
+    (Invalid_argument "Gf256.of_int: negative") (fun () ->
+      ignore (Gf256.of_int (-1)))
 
 let test_gf256_edge () =
   Alcotest.(check int) "x+x=0" 0 (Gf256.to_int (Gf256.add (Gf256.of_int 0x57) (Gf256.of_int 0x57)));
@@ -112,6 +150,39 @@ let test_poly_interpolate_roundtrip () =
     Alcotest.(check int) "lagrange_eval agrees" (Zp.to_int (P.eval p (Zp.of_int 77)))
       (Zp.to_int (P.lagrange_eval pts (Zp.of_int 77)))
   done
+
+let test_poly_evaluator () =
+  let rng = Prng.create 13L in
+  for _ = 1 to 30 do
+    let p = P.random rng ~degree:5 ~const:(Zp.random rng) in
+    let pts = List.init 6 (fun i -> (Zp.of_int (i + 1), P.eval p (Zp.of_int (i + 1)))) in
+    let ev = P.evaluator pts in
+    (* At the nodes the hole products vanish termwise: exact y_i, no 0/0
+       special case. *)
+    List.iter
+      (fun (x, y) -> Alcotest.(check int) "node" (Zp.to_int y) (Zp.to_int (ev x)))
+      pts;
+    for x = 0 to 40 do
+      let x = Zp.of_int x in
+      Alcotest.(check int) "off-node" (Zp.to_int (P.eval p x)) (Zp.to_int (ev x))
+    done
+  done;
+  Alcotest.check_raises "duplicate x"
+    (Invalid_argument "Poly.interpolate: duplicate abscissa") (fun () ->
+      ignore (P.evaluator [ (Zp.one, Zp.one); (Zp.one, Zp.zero) ] : Zp.t -> Zp.t))
+
+let test_batch_inv () =
+  let rng = Prng.create 14L in
+  for _ = 1 to 20 do
+    let a = Array.init 9 (fun _ -> Zp.random_nonzero rng) in
+    let inv = P.batch_inv a in
+    Array.iteri
+      (fun i x -> Alcotest.(check int) "x * x^-1" 1 (Zp.to_int (Zp.mul x inv.(i))))
+      a
+  done;
+  Alcotest.(check int) "empty" 0 (Array.length (P.batch_inv [||]));
+  Alcotest.check_raises "zero entry" Division_by_zero (fun () ->
+      ignore (P.batch_inv [| Zp.one; Zp.zero |]))
 
 let test_poly_interpolate_errors () =
   Alcotest.check_raises "duplicate x" (Invalid_argument "Poly.interpolate: duplicate abscissa")
@@ -186,6 +257,7 @@ let () =
         [
           Alcotest.test_case "zp edges" `Quick test_zp_edge;
           Alcotest.test_case "gf256 edges" `Quick test_gf256_edge;
+          Alcotest.test_case "of_int boundaries" `Quick test_of_int_boundaries;
         ] );
       ( "poly",
         [
@@ -194,6 +266,8 @@ let () =
           Alcotest.test_case "divmod" `Quick test_poly_divmod;
           Alcotest.test_case "interpolate roundtrip" `Quick test_poly_interpolate_roundtrip;
           Alcotest.test_case "interpolate errors" `Quick test_poly_interpolate_errors;
+          Alcotest.test_case "evaluator" `Quick test_poly_evaluator;
+          Alcotest.test_case "batch_inv" `Quick test_batch_inv;
         ] );
       ( "linalg",
         [

@@ -181,6 +181,56 @@ let test_determinism () =
   Alcotest.(check string) "same seed, byte-identical trace" trace1 trace2;
   Alcotest.(check (list (list string))) "same seed, identical rows" rows1 rows2
 
+(* Same invariant for the optimized decode kernels (support-mask
+   memoization in best_codeword, barycentric evaluators, Mersenne-shift
+   multiplication): a seeded decoding workload rendered to text must be
+   byte-identical across runs. *)
+module ShZ = Ks_shamir.Shamir.Make (Ks_field.Zp)
+module Zp = Ks_field.Zp
+
+let decode_workload () =
+  let rng = Ks_stdx.Prng.create 4242L in
+  let out = Buffer.create 4096 in
+  for trial = 1 to 40 do
+    let threshold = 2 + (trial mod 4) in
+    let holders = (3 * (threshold + 1)) + (trial mod 5) in
+    let secret = Zp.random rng in
+    let shares = ShZ.deal rng ~threshold ~holders secret in
+    let nerr = trial mod (holders - threshold) in
+    let idx = Ks_stdx.Prng.sample_without_replacement rng ~n:holders ~k:nerr in
+    Array.iter
+      (fun i -> shares.(i) <- { shares.(i) with ShZ.value = Zp.random rng })
+      idx;
+    (match ShZ.reconstruct_robust ~threshold (Array.to_list shares) with
+     | Some v -> Buffer.add_string out (Printf.sprintf "%d:some:%d\n" trial (Zp.to_int v))
+     | None -> Buffer.add_string out (Printf.sprintf "%d:none\n" trial));
+    let words = Array.init 5 (fun w -> Zp.of_int ((trial * 10) + w)) in
+    let xs = Array.init holders (fun i -> i) in
+    let per_holder = ShZ.deal_vector_at rng ~threshold ~xs words in
+    let holder_vecs =
+      List.init holders (fun h ->
+          let v =
+            if h < nerr then Array.map (fun _ -> Zp.random rng) per_holder.(h)
+            else per_holder.(h)
+          in
+          (xs.(h), v))
+    in
+    match ShZ.reconstruct_vectors ~threshold holder_vecs with
+    | Some vs ->
+      Buffer.add_string out
+        (Printf.sprintf "%d:vec:%s\n" trial
+           (String.concat ","
+              (Array.to_list (Array.map (fun v -> string_of_int (Zp.to_int v)) vs))))
+    | None -> Buffer.add_string out (Printf.sprintf "%d:vec:none\n" trial)
+  done;
+  Buffer.contents out
+
+let test_decode_determinism () =
+  let a = decode_workload () in
+  let b = decode_workload () in
+  Alcotest.(check bool) "workload is non-empty" true (String.length a > 0);
+  Alcotest.(check string) "seeded decode workload twice, byte-identical" a b
+
 let () =
   Alcotest.run "lint"
     [
@@ -201,5 +251,9 @@ let () =
           Alcotest.test_case "tree is lint-clean" `Quick test_tree_clean;
         ] );
       ( "determinism",
-        [ Alcotest.test_case "t3 twice, same trace" `Slow test_determinism ] );
+        [
+          Alcotest.test_case "t3 twice, same trace" `Slow test_determinism;
+          Alcotest.test_case "decode workload twice, same bytes" `Quick
+            test_decode_determinism;
+        ] );
     ]

@@ -1,6 +1,12 @@
 module Zp = Ks_field.Zp
+module Gf = Ks_field.Gf256
 module Sh = Ks_shamir.Shamir.Make (Ks_field.Zp)
+module ShG = Ks_shamir.Shamir.Make (Ks_field.Gf256)
 module Add = Ks_shamir.Additive.Make (Ks_field.Zp)
+module Pz = Ks_field.Poly.Make (Ks_field.Zp)
+module Pg = Ks_field.Poly.Make (Ks_field.Gf256)
+module OracleZ = Decode_oracle.Make (Ks_field.Zp)
+module OracleG = Decode_oracle.Make (Ks_field.Gf256)
 module Prng = Ks_stdx.Prng
 
 let rng () = Prng.create 20260706L
@@ -299,6 +305,93 @@ let prop_robust_beyond_radius_fails_cleanly =
       | Some v -> Zp.equal v secret
       | None -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Equivalence against the pre-optimization reference decoder
+   (test/decode_oracle.ml).  The optimized kernels (support-mask
+   memoization, barycentric evaluators, running-power Vandermonde rows)
+   must be bit-for-bit behaviour-preserving, including the None-on-tie
+   refusal. *)
+
+let equal_opt eq a b =
+  match (a, b) with
+  | Some x, Some y -> eq x y
+  | None, None -> true
+  | _ -> false
+
+let corrupt_some_g rng shares ~count =
+  let shares = Array.copy shares in
+  let idx = Prng.sample_without_replacement rng ~n:(Array.length shares) ~k:count in
+  Array.iter
+    (fun i -> shares.(i) <- { shares.(i) with ShG.value = Gf.random rng })
+    idx;
+  shares
+
+let prop_robust_equiv_oracle_zp =
+  (* Error weights sweep the whole range, well past the decodable radius:
+     the optimized and reference decoders must agree on every verdict —
+     recovered value, wrong-but-identical value, or None. *)
+  QCheck.Test.make ~name:"optimized robust decode == reference oracle (Z_p)"
+    ~count:120
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, c) ->
+      let rng = Prng.create (Int64.of_int ((a * 92821) + (b * 613) + c + 1)) in
+      let threshold = 1 + (a mod 5) in
+      let holders = threshold + 2 + (b mod 12) in
+      let max_errors = holders - threshold - 1 in
+      let errors = c mod (max_errors + 1) in
+      let secret = Zp.random rng in
+      let shares = Sh.deal rng ~threshold ~holders secret in
+      let bad = Array.to_list (corrupt_some rng shares ~count:errors) in
+      equal_opt Zp.equal
+        (Sh.reconstruct_robust ~threshold bad)
+        (OracleZ.reconstruct_robust ~threshold bad))
+
+let prop_robust_equiv_oracle_gf256 =
+  QCheck.Test.make ~name:"optimized robust decode == reference oracle (GF(256))"
+    ~count:120
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, c) ->
+      let rng = Prng.create (Int64.of_int ((a * 48611) + (b * 769) + c + 1)) in
+      let threshold = 1 + (a mod 5) in
+      let holders = threshold + 2 + (b mod 12) in
+      let max_errors = holders - threshold - 1 in
+      let errors = c mod (max_errors + 1) in
+      let secret = Gf.random rng in
+      let shares = ShG.deal rng ~threshold ~holders secret in
+      let bad = Array.to_list (corrupt_some_g rng shares ~count:errors) in
+      equal_opt Gf.equal
+        (ShG.reconstruct_robust ~threshold bad)
+        (OracleG.reconstruct_robust ~threshold bad))
+
+let prop_lagrange_eval_equiv_oracle =
+  QCheck.Test.make ~name:"Poly.lagrange_eval == reference oracle (both fields)"
+    ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let rng = Prng.create (Int64.of_int ((a * 31337) + b + 1)) in
+      let k = 1 + (a mod 10) in
+      let ptsz = List.init k (fun i -> (Zp.of_int (i + 1), Zp.random rng)) in
+      let xz = Zp.random rng in
+      let ptsg = List.init k (fun i -> (Gf.of_int (i + 1), Gf.random rng)) in
+      let xg = Gf.random rng in
+      Zp.equal (Pz.lagrange_eval ptsz xz) (OracleZ.lagrange_eval ptsz xz)
+      && Gf.equal (Pg.lagrange_eval ptsg xg) (OracleG.lagrange_eval ptsg xg))
+
+let test_tie_yields_none_both_decoders () =
+  (* threshold 1 (k = 2), m = 6: three shares on the zero line, three on
+     the line y = x.  Each line explains exactly 3 points (below
+     radius_accept = 4), the supports are disjoint, and no mixed pair
+     beats them: an exact best/second tie.  Both decoders must refuse
+     with None rather than guess a winner. *)
+  let shares =
+    List.init 6 (fun i ->
+        { Sh.index = i; value = (if i < 3 then Zp.zero else Zp.of_int (i + 1)) })
+  in
+  Alcotest.(check bool) "optimized ties to None" true
+    (Sh.reconstruct_robust ~threshold:1 shares = None);
+  Alcotest.(check bool) "oracle ties to None" true
+    (OracleZ.reconstruct_robust ~threshold:1 shares = None)
+
 let () =
   Alcotest.run "shamir"
     [
@@ -336,4 +429,12 @@ let () =
             test_reconstruct_vectors_word_targeted_lie;
         ] );
       ("additive", [ Alcotest.test_case "roundtrip" `Quick test_additive ]);
+      ( "oracle equivalence",
+        [
+          Alcotest.test_case "tie yields None (both decoders)" `Quick
+            test_tie_yields_none_both_decoders;
+          QCheck_alcotest.to_alcotest prop_robust_equiv_oracle_zp;
+          QCheck_alcotest.to_alcotest prop_robust_equiv_oracle_gf256;
+          QCheck_alcotest.to_alcotest prop_lagrange_eval_equiv_oracle;
+        ] );
     ]
