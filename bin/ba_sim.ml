@@ -29,12 +29,20 @@ let inputs_of_name rng ~n = function
   | "ones" -> Ok (Inputs.generate rng ~n Inputs.All_one)
   | other -> Error (Printf.sprintf "unknown inputs %S (split|random|zeros|ones)" other)
 
-let run_everywhere ~params ~scenario ~seed ~inputs =
+(* Documented exit codes (docs/FAULTS.md, pinned by test/test_cli.ml):
+   0 = agreed cleanly, 3 = degraded but agreed (decode failures detected
+   and/or re-request rounds spent), 4 = failed (no agreement, or an
+   invariant violation).  Usage errors keep cmdliner's 124. *)
+let exit_agreed = 0
+let exit_degraded = 3
+let exit_failed = 4
+
+let run_everywhere ~retries ~params ~scenario ~seed ~inputs =
   let n = params.Params.n in
   let budget = Attacks.budget_of scenario ~params in
   let tree = Ks_topology.Tree.build (Prng.create seed) (Params.tree_config params) in
   let r =
-    Ks_core.Everywhere.run ~params ~seed ~inputs
+    Ks_core.Everywhere.run ~retries ~params ~seed ~inputs
       ~behavior:scenario.Attacks.behavior
       ~tree_strategy:(Attacks.tree_strategy scenario ~params ~tree)
       ~a2e_strategy:(fun ~carried ~coin ->
@@ -54,12 +62,22 @@ let run_everywhere ~params ~scenario ~seed ~inputs =
   Printf.printf "  max bits/proc: tournament=%d amplify=%d total=%d\n"
     r.Ks_core.Everywhere.max_sent_bits_ae r.Ks_core.Everywhere.max_sent_bits_a2e
     r.Ks_core.Everywhere.max_sent_bits_total;
-  if r.Ks_core.Everywhere.success then `Ok () else `Error (false, "agreement failed")
+  Printf.printf "  degraded=%b decode_failures=%d retries_used=%d shortfalls=%d\n"
+    r.Ks_core.Everywhere.degraded r.Ks_core.Everywhere.decode_failures
+    r.Ks_core.Everywhere.retries_used
+    r.Ks_core.Everywhere.ae.Ks_core.Ae_ba.quorum_shortfalls;
+  if not r.Ks_core.Everywhere.success then begin
+    Printf.printf "  FAILED: no everywhere agreement\n";
+    `Ok exit_failed
+  end
+  else if r.Ks_core.Everywhere.degraded then `Ok exit_degraded
+  else `Ok exit_agreed
 
-let run_ae ~params ~scenario ~seed ~inputs =
+let run_ae ~retries ~params ~scenario ~seed ~inputs =
   let tree = Ks_topology.Tree.build (Prng.create seed) (Params.tree_config params) in
   let r =
-    Ks_core.Ae_ba.run ~params ~seed ~inputs ~behavior:scenario.Attacks.behavior
+    Ks_core.Ae_ba.run ~retries ~params ~seed ~inputs
+      ~behavior:scenario.Attacks.behavior
       ~strategy:(Attacks.tree_strategy scenario ~params ~tree)
       ~budget:(Attacks.budget_of scenario ~params) ()
   in
@@ -72,7 +90,12 @@ let run_ae ~params ~scenario ~seed ~inputs =
         e.level e.node (Array.length e.candidates) (Array.length e.winners)
         (100.0 *. e.good_winner_fraction))
     r.Ks_core.Ae_ba.elections;
-  `Ok ()
+  let decode_failures = Ks_core.Comm.decode_failures r.Ks_core.Ae_ba.comm in
+  let retries_used = Ks_core.Comm.retries_used r.Ks_core.Ae_ba.comm in
+  Printf.printf "  decode_failures=%d retries_used=%d shortfalls=%d\n" decode_failures
+    retries_used r.Ks_core.Ae_ba.quorum_shortfalls;
+  if decode_failures > 0 || retries_used > 0 then `Ok exit_degraded
+  else `Ok exit_agreed
 
 let run_baseline name ~params ~scenario ~seed ~inputs =
   let n = params.Params.n in
@@ -96,7 +119,11 @@ let run_baseline name ~params ~scenario ~seed ~inputs =
   Printf.printf "baseline: agreement=%b validity=%b rounds=%d max bits/proc=%d\n"
     o.Ks_baselines.Outcome.agreement o.Ks_baselines.Outcome.validity
     o.Ks_baselines.Outcome.rounds o.Ks_baselines.Outcome.max_sent_bits;
-  if o.Ks_baselines.Outcome.agreement then `Ok () else `Error (false, "disagreement")
+  if o.Ks_baselines.Outcome.agreement then `Ok exit_agreed
+  else begin
+    Printf.printf "  FAILED: disagreement\n";
+    `Ok exit_failed
+  end
 
 let setup_logging verbose =
   if verbose then begin
@@ -123,7 +150,11 @@ let run_async ~n ~scenario ~seed ~inputs =
     n f o.Ks_async.Async_ba.agreement o.Ks_async.Async_ba.validity
     o.Ks_async.Async_ba.max_rounds o.Ks_async.Async_ba.events
     o.Ks_async.Async_ba.max_sent_bits;
-  if o.Ks_async.Async_ba.agreement then `Ok () else `Error (false, "disagreement")
+  if o.Ks_async.Async_ba.agreement then `Ok exit_agreed
+  else begin
+    Printf.printf "  FAILED: disagreement\n";
+    `Ok exit_failed
+  end
 
 (* Every run executes under the invariant monitors: the accounting set of
    [Experiments.standard_monitors] plus agreement/validity over the actual
@@ -148,34 +179,57 @@ let monitored ~trace_file ~inputs f =
   | [] -> result
   | vs ->
     prerr_string (Ks_monitor.Hub.render_violations vs);
-    `Error (false, Printf.sprintf "%d invariant violation(s)" (List.length vs))
+    Printf.eprintf "FAILED: %d invariant violation(s)\n" (List.length vs);
+    `Ok exit_failed
 
-let run_cmd verbose protocol n adversary seed inputs trace_file =
+let run_cmd verbose protocol n adversary seed inputs trace_file faults retries_opt =
   setup_logging verbose;
   match scenario_of_name adversary with
   | Error e -> `Error (false, e)
-  | Ok scenario ->
-    let params = Params.practical n in
-    let rng = Prng.create (Int64.of_int seed) in
-    (match inputs_of_name rng ~n inputs with
-     | Error e -> `Error (false, e)
-     | Ok input_bits ->
-       let seed = Int64.of_int seed in
-       monitored ~trace_file ~inputs:input_bits (fun () ->
-           match protocol with
-           | "everywhere" -> run_everywhere ~params ~scenario ~seed ~inputs:input_bits
-           | "ae" -> run_ae ~params ~scenario ~seed ~inputs:input_bits
-           | "rabin" -> run_baseline `Rabin ~params ~scenario ~seed ~inputs:input_bits
-           | "phase-king" ->
-             run_baseline `Phase_king ~params ~scenario ~seed ~inputs:input_bits
-           | "ben-or" -> run_baseline `Ben_or ~params ~scenario ~seed ~inputs:input_bits
-           | "async" -> run_async ~n ~scenario ~seed ~inputs:input_bits
-           | other ->
-             `Error
-               ( false,
-                 Printf.sprintf
-                   "unknown protocol %S (everywhere|ae|rabin|phase-king|ben-or|async)"
-                   other )))
+  | Ok scenario -> (
+    match
+      match faults with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (Ks_faults.Plan.of_string s)
+    with
+    | Error e -> `Error (false, e)
+    | Ok plan ->
+      let params = Params.practical n in
+      let rng = Prng.create (Int64.of_int seed) in
+      (match inputs_of_name rng ~n inputs with
+       | Error e -> `Error (false, e)
+       | Ok input_bits ->
+         let seed = Int64.of_int seed in
+         (* Bounded retry defaults on exactly when faults are injected:
+            plain runs stay bit-identical to the pre-fault-layer code. *)
+         let retries =
+           match retries_opt with
+           | Some r -> Stdlib.max 0 r
+           | None -> ( match plan with Some _ -> 2 | None -> 0)
+         in
+         let go () =
+           monitored ~trace_file ~inputs:input_bits (fun () ->
+               match protocol with
+               | "everywhere" ->
+                 run_everywhere ~retries ~params ~scenario ~seed ~inputs:input_bits
+               | "ae" -> run_ae ~retries ~params ~scenario ~seed ~inputs:input_bits
+               | "rabin" ->
+                 run_baseline `Rabin ~params ~scenario ~seed ~inputs:input_bits
+               | "phase-king" ->
+                 run_baseline `Phase_king ~params ~scenario ~seed ~inputs:input_bits
+               | "ben-or" ->
+                 run_baseline `Ben_or ~params ~scenario ~seed ~inputs:input_bits
+               | "async" -> run_async ~n ~scenario ~seed ~inputs:input_bits
+               | other ->
+                 `Error
+                   ( false,
+                     Printf.sprintf
+                       "unknown protocol %S (everywhere|ae|rabin|phase-king|ben-or|async)"
+                       other ))
+         in
+         (match plan with
+          | Some p -> Ks_faults.Plan.with_plan p go
+          | None -> go ())))
 
 let inspect_cmd n theoretical =
   let params = if theoretical then Params.theoretical n else Params.practical n in
@@ -195,7 +249,7 @@ let inspect_cmd n theoretical =
       (Params.corruption_budget params)
       (100.0 *. float_of_int (Params.corruption_budget params) /. float_of_int n)
   end;
-  `Ok ()
+  `Ok 0
 
 let n_arg =
   Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Number of processors.")
@@ -237,17 +291,44 @@ let trace_arg =
           "Write the structured JSONL event trace (rounds, sends, corruptions, \
            decisions, meters) to $(docv).")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Benign-fault plan, a comma-separated key=value list (see \
+           docs/FAULTS.md): drop, dup, crash, recover, silence, silence_len, \
+           max_down, seed.  Example: drop=0.1,dup=0.02,crash=0.01,recover=0.3. \
+           Faults never consume the adversary's corruption budget.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Re-request rounds allowed per failed robust decode in the tree phase \
+           (graceful degradation).  Defaults to 2 when $(b,--faults) is given, 0 \
+           otherwise.")
+
 let run_term =
   Term.(
     ret
       (const run_cmd $ verbose_arg $ protocol_arg $ n_arg $ adversary_arg $ seed_arg
-     $ inputs_arg $ trace_arg))
+     $ inputs_arg $ trace_arg $ faults_arg $ retries_arg))
 
 let inspect_term = Term.(ret (const inspect_cmd $ n_arg $ theoretical_arg))
 
 let cmds =
   [
-    Cmd.v (Cmd.info "run" ~doc:"Run a protocol once and print the outcome.") run_term;
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Run a protocol once and print the outcome.  Exit codes: 0 = agreed, \
+            3 = degraded but agreed, 4 = failed (no agreement or invariant \
+            violation), 124 = usage error.")
+      run_term;
     Cmd.v
       (Cmd.info "inspect" ~doc:"Print the derived parameters, tree shape and layout.")
       inspect_term;
@@ -258,4 +339,11 @@ let () =
     Cmd.info "ba_sim" ~version:"1.0.0"
       ~doc:"Scalable Byzantine agreement (King-Saia PODC'10) simulator"
   in
-  exit (Cmd.eval (Cmd.group info cmds))
+  (* [eval_value] instead of [eval]: the run commands' return value is the
+     process exit code (0/3/4, documented above), while usage and internal
+     errors keep cmdliner's distinct 124/125. *)
+  match Cmd.eval_value (Cmd.group info cmds) with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Version | `Help) -> exit 0
+  | Error (`Parse | `Term) -> exit Cmd.Exit.cli_error
+  | Error `Exn -> exit Cmd.Exit.internal_error

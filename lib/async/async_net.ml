@@ -48,14 +48,24 @@ type 'msg t = {
   (* No rounds in the async model: events carry the delivery-event count
      instead, so a trace still orders the run. *)
   mutable delivered : int;
+  faults : Ks_faults.Injector.t option;
   hub : Ks_monitor.Hub.t option;
   mutable net_id : int;
 }
 
 let emit t ev = match t.hub with None -> () | Some h -> Ks_monitor.Hub.emit h ev
 
-let create ?hub ?(label = "async") ~seed ~n ~corrupt ~msg_bits ~scheduler () =
+let create ?hub ?faults ?(label = "async") ~seed ~n ~corrupt ~msg_bits ~scheduler () =
   if n <= 0 then invalid_arg "Async_net.create: n must be positive";
+  (* Benign faults, as in [Ks_sim.Net]: explicit plan, else ambient.  The
+     round-free async model has no churn pass, so only the in-flight
+     omission/duplication rates of the plan apply here. *)
+  let faults =
+    match faults with Some _ as f -> f | None -> Ks_faults.Plan.ambient ()
+  in
+  let faults =
+    Option.bind faults (fun plan -> Ks_faults.Injector.create plan ~label ~n)
+  in
   let corrupt_arr = Array.make n false in
   List.iter (fun p -> if p >= 0 && p < n then corrupt_arr.(p) <- true) corrupt;
   let starved = Array.make n false in
@@ -75,6 +85,7 @@ let create ?hub ?(label = "async") ~seed ~n ~corrupt ~msg_bits ~scheduler () =
       free = Pool.create ();
       held = Pool.create ();
       delivered = 0;
+      faults;
       hub;
       net_id = 0;
     }
@@ -105,13 +116,36 @@ let send t msgs =
   List.iter
     (fun e ->
       if e.dst >= 0 && e.dst < t.size then begin
+        let bits = t.msg_bits e.payload in
         if not t.corrupt.(e.src) then
-          Ks_sim.Meter.charge_send t.meter e.src ~bits:(t.msg_bits e.payload);
+          Ks_sim.Meter.charge_send t.meter e.src ~bits;
         emit t
           (Ks_monitor.Event.Send
              { net = t.net_id; round = t.delivered; src = e.src; dst = e.dst;
-               bits = t.msg_bits e.payload; adv = t.corrupt.(e.src) });
-        if t.starved.(e.dst) then Pool.push t.held e else Pool.push t.free e
+               bits; adv = t.corrupt.(e.src) });
+        (* In-flight benign faults apply at enqueue time: the sender has
+           paid either way; omission loses the message, duplication
+           schedules (and later charges the receiver for) a second copy. *)
+        let enqueue () =
+          if t.starved.(e.dst) then Pool.push t.held e else Pool.push t.free e
+        in
+        match t.faults with
+        | None -> enqueue ()
+        | Some inj -> (
+          match Ks_faults.Injector.transit inj with
+          | `Deliver -> enqueue ()
+          | `Drop ->
+            emit t
+              (Ks_monitor.Event.Fault
+                 { net = t.net_id; round = t.delivered; kind = "drop";
+                   proc = e.src; dst = e.dst; info = bits })
+          | `Duplicate ->
+            enqueue ();
+            enqueue ();
+            emit t
+              (Ks_monitor.Event.Fault
+                 { net = t.net_id; round = t.delivered; kind = "dup";
+                   proc = e.src; dst = e.dst; info = bits }))
       end)
     msgs
 

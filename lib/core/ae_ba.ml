@@ -55,6 +55,7 @@ type result = {
   valid : bool;
   elections : election_stats list;
   root_candidates : int array;
+  quorum_shortfalls : int;
   comm : Comm.t;
   layout : Layout.t;
   coin_view : iteration:int -> int -> int option;
@@ -167,7 +168,7 @@ let vote_round comm ~behavior ~adv_rng ~level ~nodes ~members_of ~graph_of
     nodes;
   tallies
 
-let run ~params ~seed ~inputs ~behavior ~strategy ?budget () =
+let run ?(retries = 0) ~params ~seed ~inputs ~behavior ~strategy ?budget () =
   let (_ : Params.t) = Params.validate params in
   let n = params.Params.n in
   if Array.length inputs <> n then invalid_arg "Ae_ba.run: inputs length";
@@ -175,9 +176,14 @@ let run ~params ~seed ~inputs ~behavior ~strategy ?budget () =
   let tree_rng = Prng.split root in
   let tree = Tree.build tree_rng (Params.tree_config params) in
   let comm =
-    Comm.create ~params ~tree ~seed:(Prng.bits64 root) ~behavior ~strategy
+    Comm.create ~retries ~params ~tree ~seed:(Prng.bits64 root) ~behavior ~strategy
       ?budget ()
   in
+  (* Detected quorum shortfalls: (good member, vote round) pairs in which
+     the member heard no votes at all — its tally carries no information
+     and [update_vote] falls back to its current value.  Purely a
+     detection counter; the vote loop is its own retry mechanism. *)
+  let quorum_shortfalls = ref 0 in
   let net = Comm.net comm in
   let layout = Layout.make params tree in
   let levels = layout.Layout.levels in
@@ -286,6 +292,10 @@ let run ~params ~seed ~inputs ~behavior ~strategy ?budget () =
           Array.iteri
             (fun mp p ->
               if not (Ks_sim.Net.is_corrupt net p) then begin
+                if
+                  instances_of j > 0
+                  && Array.for_all (fun (_, total) -> total = 0) tally.(mp)
+                then incr quorum_shortfalls;
                 let words = coin_words mp in
                 for inst = 0 to instances_of j - 1 do
                   let ci = inst / bin_bits_of.(j) in
@@ -443,6 +453,7 @@ let run ~params ~seed ~inputs ~behavior ~strategy ?budget () =
               if vote then incr ones
             | _ -> ())
           inboxes.(p);
+        if !total = 0 then incr quorum_shortfalls;
         let coin =
           if Array.length root_cands = 0 then None
           else
@@ -514,6 +525,7 @@ let run ~params ~seed ~inputs ~behavior ~strategy ?budget () =
     valid;
     elections = List.rev !elections;
     root_candidates = root_cands;
+    quorum_shortfalls = !quorum_shortfalls;
     comm;
     layout;
     coin_view;

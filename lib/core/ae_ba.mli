@@ -50,6 +50,12 @@ type result = {
   valid : bool;  (** majority equals some good processor's input *)
   elections : election_stats list;
   root_candidates : int array;
+  quorum_shortfalls : int;
+      (** detected (good member, vote round) pairs whose tally was empty
+          — the member heard no votes at all that round (e.g. every
+          graph neighbour silent or their messages lost to benign
+          faults); the vote loop itself is the retry, so this is a pure
+          degradation signal *)
   comm : Comm.t;  (** for meters and further opens *)
   layout : Layout.t;
   coin_view : iteration:int -> int -> int option;
@@ -61,8 +67,11 @@ type result = {
 
 (** [run ~params ~seed ~inputs ~behavior ~strategy] — the full tournament.
     [strategy] decides who gets corrupted and when; [behavior] what
-    corrupted processors do inside the tree protocol. *)
+    corrupted processors do inside the tree protocol.  [?retries]
+    (default 0) is the per-decode re-request budget passed to
+    {!Comm.create} for graceful degradation under benign faults. *)
 val run :
+  ?retries:int ->
   params:Params.t ->
   seed:int64 ->
   inputs:bool array ->

@@ -211,9 +211,15 @@ type t = {
   cands : cand_state array;
   vec_len : int array;
   garbage_rng : Prng.t;
+  (* Graceful degradation: robust-decode failures are detected (counted)
+     rather than silently dropped, and may trigger up to [max_retries]
+     re-request rounds each (see [settle]). *)
+  max_retries : int;
+  mutable decode_failures : int;
+  mutable retries_used : int;
 }
 
-let create ~params ~tree ~seed ~behavior ~strategy ?budget () =
+let create ?(retries = 0) ~params ~tree ~seed ~behavior ~strategy ?budget () =
   let pending = ref [] in
   let wrapped =
     {
@@ -241,9 +247,14 @@ let create ~params ~tree ~seed ~behavior ~strategy ?budget () =
       Array.init params.Params.n (fun _ -> { live_level = 0; held = [||] });
     vec_len = Array.make params.Params.n 0;
     garbage_rng = Prng.split (Ks_sim.Net.rng net);
+    max_retries = retries;
+    decode_failures = 0;
+    retries_used = 0;
   }
 
 let net t = t.net
+let decode_failures t = t.decode_failures
+let retries_used t = t.retries_used
 let tree t = t.tree
 let structure t = t.structure
 let params t = t.params
@@ -443,6 +454,29 @@ let reshare_up t ~cands ~drop =
         t.cands.(c).held <- [||])
       drop
 
+(* Bounded re-request: when robust decoding failed for some keys, re-run
+   the same exchange — the good senders resend their shares, which under
+   a benign-fault plan gives fresh delivery draws, so shares lost to
+   omission can get through — merge the newly arrived pieces, and decode
+   again.  [decode ()] re-decodes the accumulated pieces and returns the
+   result table with the number of keys still failing; [collect] folds
+   one more round of inboxes into those pieces.  Failures left once the
+   retry budget is spent are counted as detected degradation, exactly
+   where the old code silently dropped them.  With [max_retries = 0]
+   (the default) behaviour is bit-identical to no fault handling at all:
+   one decode, no extra rounds, no extra randomness. *)
+let rec settle t ~msgs ~collect ~decode ~attempt =
+  let next, failed = decode () in
+  if failed = 0 || attempt >= t.max_retries then begin
+    t.decode_failures <- t.decode_failures + failed;
+    next
+  end
+  else begin
+    t.retries_used <- t.retries_used + 1;
+    collect (exchange t msgs);
+    settle t ~msgs ~collect ~decode ~attempt:(attempt + 1)
+  end
+
 let open_ranges_view t ~level ~ranges =
   if level < 2 then invalid_arg "Comm.open_ranges_view: level must be >= 2";
   let range_tbl = Hashtbl.create 16 in
@@ -489,16 +523,16 @@ let open_ranges_view t ~level ~ranges =
                 words !msgs)
           (Tree.children t.tree ~level:l ~node))
       !cur;
-    let inboxes = exchange t !msgs in
     (* Collect pieces per (cand, child node, parent instance). *)
     let pieces = Hashtbl.create 1024 in
-    Array.iteri
-      (fun p inbox ->
-        List.iter
-          (fun e ->
-            match e.payload with
-            | Share_down { cand; level = ml; node = ch; inst; off; words }
-              when ml = l && Hashtbl.mem range_tbl cand ->
+    let collect inboxes =
+      Array.iteri
+        (fun p inbox ->
+          List.iter
+            (fun e ->
+              match e.payload with
+              | Share_down { cand; level = ml; node = ch; inst; off; words }
+                when ml = l && Hashtbl.mem range_tbl cand ->
               let eoff, elen = Hashtbl.find range_tbl cand in
               if
                 off = eoff
@@ -529,20 +563,26 @@ let open_ranges_view t ~level ~ranges =
                     Hashtbl.replace pieces key ((x, words) :: existing)
                 end
               end
-            | _ -> ())
-          inbox)
-      inboxes;
-    let next = Hashtbl.create 1024 in
-    Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.triple_cmp
-      (fun (c, ch, pinst) holder_pieces ->
-        let dpos = Structure.pos t.structure ~level:(l - 1) ~inst:pinst in
-        let holders = Tree.uplinks t.tree ~level:(l - 1) ~member:dpos in
-        let th = Params.share_threshold t.params ~holders:(Array.length holders) in
-        match Sh.reconstruct_vectors ~threshold:th holder_pieces with
-        | Some v -> Hashtbl.replace next (c, ch, pinst) v
-        | None -> ())
-      pieces;
-    cur := next
+              | _ -> ())
+            inbox)
+        inboxes
+    in
+    collect (exchange t !msgs);
+    let decode () =
+      let next = Hashtbl.create 1024 in
+      let failed = ref 0 in
+      Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.triple_cmp
+        (fun (c, ch, pinst) holder_pieces ->
+          let dpos = Structure.pos t.structure ~level:(l - 1) ~inst:pinst in
+          let holders = Tree.uplinks t.tree ~level:(l - 1) ~member:dpos in
+          let th = Params.share_threshold t.params ~holders:(Array.length holders) in
+          match Sh.reconstruct_vectors ~failures:failed ~threshold:th holder_pieces with
+          | Some v -> Hashtbl.replace next (c, ch, pinst) v
+          | None -> ())
+        pieces;
+      (next, !failed)
+    in
+    cur := settle t ~msgs:!msgs ~collect ~decode ~attempt:0
   done;
   (* Leaf exchange: members of every level-1 node swap their reconstructed
      1-shares and recover the secrets. *)
@@ -562,19 +602,19 @@ let open_ranges_view t ~level ~ranges =
               words !msgs
       done)
     !cur;
-  let inboxes = exchange t !msgs in
   let pieces = Hashtbl.create 1024 in
   (* Own shares count without a message. *)
   Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.triple_cmp
     (fun (c, leaf, inst) words ->
       Hashtbl.replace pieces (c, leaf, inst) [ (inst, words) ])
     !cur;
-  Array.iteri
-    (fun p inbox ->
-      List.iter
-        (fun e ->
-          match e.payload with
-          | Leaf_val { cand; leaf; inst; off; words }
+  let collect inboxes =
+    Array.iteri
+      (fun p inbox ->
+        List.iter
+          (fun e ->
+            match e.payload with
+            | Leaf_val { cand; leaf; inst; off; words }
             when Hashtbl.mem range_tbl cand && inst >= 0 && inst < k1
                  && leaf >= 0 && leaf < Tree.node_count t.tree ~level:1 ->
             let eoff, elen = Hashtbl.find range_tbl cand in
@@ -592,16 +632,23 @@ let open_ranges_view t ~level ~ranges =
                 | None -> ()
               end
             end
-          | _ -> ())
-        inbox)
-    inboxes;
-  let secrets = Hashtbl.create 1024 in
-  Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.triple_cmp
-    (fun key holder_pieces ->
-      match Sh.reconstruct_vectors ~threshold:t1 holder_pieces with
-      | Some v -> Hashtbl.replace secrets key v
-      | None -> ())
-    pieces;
+            | _ -> ())
+          inbox)
+      inboxes
+  in
+  collect (exchange t !msgs);
+  let decode () =
+    let secrets = Hashtbl.create 1024 in
+    let failed = ref 0 in
+    Ks_stdx.Dtbl.iter_sorted ~cmp:Ks_stdx.Dtbl.triple_cmp
+      (fun key holder_pieces ->
+        match Sh.reconstruct_vectors ~failures:failed ~threshold:t1 holder_pieces with
+        | Some v -> Hashtbl.replace secrets key v
+        | None -> ())
+      pieces;
+    (secrets, !failed)
+  in
+  let secrets = settle t ~msgs:!msgs ~collect ~decode ~attempt:0 in
   (* sendOpen: leaf members report straight up the ℓ-links; election-node
      members take a majority inside each leaf's reports, then across
      leaves. *)

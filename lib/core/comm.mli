@@ -88,8 +88,17 @@ type t
 (** [create ~params ~tree ~seed ~behavior ~strategy] — builds the network
     (wrapping [strategy] so that corrupt tree-protocol traffic generated
     under [behavior] reaches the wire) and the shared structure.  The
-    candidate set is one array per processor. *)
+    candidate set is one array per processor.
+
+    [?retries] (default 0) bounds graceful degradation: each robust
+    decode that fails may trigger up to that many re-request rounds — the
+    same shares are resent, so losses from a benign-fault plan
+    (docs/FAULTS.md) get fresh delivery draws — before the failure is
+    accepted and counted.  With [retries = 0] the protocol behaves
+    bit-identically to the pre-degradation code (failures are merely
+    counted where they were silently dropped). *)
 val create :
+  ?retries:int ->
   params:Params.t ->
   tree:Ks_topology.Tree.t ->
   seed:int64 ->
@@ -100,6 +109,14 @@ val create :
   t
 
 val net : t -> payload Ks_sim.Net.t
+
+(** Degradation counters: robust decodes that still failed after the
+    retry budget, and re-request rounds actually taken.  Both stay 0 in
+    an unfaulted run with [retries = 0]. *)
+val decode_failures : t -> int
+
+val retries_used : t -> int
+
 val tree : t -> Ks_topology.Tree.t
 val structure : t -> Structure.t
 val params : t -> Params.t

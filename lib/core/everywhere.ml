@@ -10,6 +10,9 @@ type result = {
   a2e : Ae_to_e.result;
   success : bool;
   safe : bool;
+  degraded : bool;
+  decode_failures : int;
+  retries_used : int;
   agreed_value : int option;
   ae_rounds : int;
   a2e_rounds : int;
@@ -26,7 +29,8 @@ let carry_corruptions base ~carried =
       (fun rng ~n ~budget -> carried @ base.initial_corruptions rng ~n ~budget);
   }
 
-let run ~params ~seed ~inputs ~behavior ~tree_strategy ~a2e_strategy ?budget () =
+let run ?(retries = 0) ~params ~seed ~inputs ~behavior ~tree_strategy ~a2e_strategy
+    ?budget () =
   let root = Prng.create seed in
   let ae_seed = Prng.bits64 root in
   let a2e_seed = Prng.bits64 root in
@@ -34,7 +38,7 @@ let run ~params ~seed ~inputs ~behavior ~tree_strategy ~a2e_strategy ?budget () 
    | Some h -> Ks_monitor.Hub.phase h "tournament"
    | None -> ());
   let ae =
-    Ae_ba.run ~params ~seed:ae_seed ~inputs ~behavior ~strategy:tree_strategy
+    Ae_ba.run ~retries ~params ~seed:ae_seed ~inputs ~behavior ~strategy:tree_strategy
       ?budget ()
   in
   let ae_net = Comm.net ae.Ae_ba.comm in
@@ -98,11 +102,16 @@ let run ~params ~seed ~inputs ~behavior ~tree_strategy ~a2e_strategy ?budget () 
   (* The a2e phase triggers lazy coin opens charged to the tree meter, so
      the tree snapshot is only final now. *)
   Ks_sim.Net.emit_meter ae_net;
+  let decode_failures = Comm.decode_failures ae.Ae_ba.comm in
+  let retries_used = Comm.retries_used ae.Ae_ba.comm in
   {
     ae;
     a2e;
     success = !success;
     safe = !safe;
+    degraded = decode_failures > 0 || retries_used > 0;
+    decode_failures;
+    retries_used;
     agreed_value = (if !success then Some target else None);
     ae_rounds = Ks_sim.Meter.rounds ae_meter;
     a2e_rounds = Ks_sim.Meter.rounds a2e_meter;

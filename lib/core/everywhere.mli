@@ -19,6 +19,12 @@ type result = {
   success : bool;
       (** every good processor decided the almost-everywhere majority *)
   safe : bool;  (** no good processor decided anything else *)
+  degraded : bool;
+      (** the tree phase detected robust-decode failures or spent
+          re-request rounds (graceful degradation under benign faults —
+          agreement may still hold; see docs/FAULTS.md) *)
+  decode_failures : int;  (** decodes still failed after the retry budget *)
+  retries_used : int;  (** re-request rounds actually taken *)
   agreed_value : int option;  (** the common decision when [success] *)
   ae_rounds : int;
   a2e_rounds : int;
@@ -33,8 +39,10 @@ type result = {
     tournament (include them in its initial corruptions — use
     {!carry_corruptions}) and the §3.5 coin view, through which a
     flooding adversary learns each iteration's label exactly when its
-    corrupted knowledgeable processors do. *)
+    corrupted knowledgeable processors do.  [?retries] (default 0) is
+    the tree phase's per-decode re-request budget ({!Comm.create}). *)
 val run :
+  ?retries:int ->
   params:Params.t ->
   seed:int64 ->
   inputs:bool array ->

@@ -1,0 +1,93 @@
+(* The fault injector proper.  One injector per net, seeded from
+   [plan.seed] mixed with a hash of the net's label so that every net in
+   a run (tree, a2e, rabin, ...) draws an independent but reproducible
+   fault stream from one plan.  All draws come from the injector's own
+   SplitMix64 stream: protocol and adversary randomness are untouched,
+   so a run under a trivial plan is bit-identical to an unfaulted run. *)
+
+type kind = Drop | Dup | Crash | Recover | Silence
+
+let kind_to_string = function
+  | Drop -> "drop"
+  | Dup -> "dup"
+  | Crash -> "crash"
+  | Recover -> "recover"
+  | Silence -> "silence"
+
+type t = {
+  plan : Plan.t;
+  n : int;
+  rng : Ks_stdx.Prng.t;
+  is_down : bool array;
+  mutable down_count : int;
+  (* [silent_until.(p)] is the first round in which [p] may speak again;
+     a processor is silent while [round < silent_until.(p)]. *)
+  silent_until : int array;
+  mutable round : int;
+}
+
+(* FNV-1a, 64-bit: a deterministic label hash (Hashtbl.hash would work
+   but spelling the mix out keeps the fault stream's derivation
+   self-contained and obviously stable across compiler versions). *)
+let hash_label s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let create plan ~label ~n =
+  if Plan.is_trivial plan then None
+  else
+    Some
+      {
+        plan;
+        n;
+        rng = Ks_stdx.Prng.create (Int64.logxor plan.seed (hash_label label));
+        is_down = Array.make n false;
+        down_count = 0;
+        silent_until = Array.make n 0;
+        round = 0;
+      }
+
+let down t p = t.is_down.(p)
+let silent t p = t.silent_until.(p) > t.round
+let send_suppressed t p = t.is_down.(p) || silent t p
+
+let begin_round t ~round ~on_fault =
+  t.round <- round;
+  let cap = if t.plan.max_down <= 0 then t.n else t.plan.max_down in
+  if t.plan.crash > 0. then
+    for p = 0 to t.n - 1 do
+      if t.is_down.(p) then begin
+        if Ks_stdx.Prng.bernoulli t.rng t.plan.recover then begin
+          t.is_down.(p) <- false;
+          t.down_count <- t.down_count - 1;
+          on_fault Recover ~proc:p ~info:0
+        end
+      end
+      else if Ks_stdx.Prng.bernoulli t.rng t.plan.crash && t.down_count < cap
+      then begin
+        t.is_down.(p) <- true;
+        t.down_count <- t.down_count + 1;
+        on_fault Crash ~proc:p ~info:0
+      end
+    done;
+  if t.plan.silence > 0. then
+    for p = 0 to t.n - 1 do
+      if
+        (not (silent t p))
+        && (not t.is_down.(p))
+        && Ks_stdx.Prng.bernoulli t.rng t.plan.silence
+      then begin
+        t.silent_until.(p) <- round + t.plan.silence_len;
+        on_fault Silence ~proc:p ~info:t.plan.silence_len
+      end
+    done
+
+let transit t =
+  if t.plan.drop > 0. && Ks_stdx.Prng.bernoulli t.rng t.plan.drop then `Drop
+  else if t.plan.dup > 0. && Ks_stdx.Prng.bernoulli t.rng t.plan.dup then
+    `Duplicate
+  else `Deliver

@@ -1,0 +1,49 @@
+(** Deterministic benign-fault injector, one per net.
+
+    The injector sits below the adversary in the delivery pipeline:
+    crash/recover churn and silence windows suppress sends before the
+    adversary even sees the round's traffic, while per-delivery
+    omission/duplication ([transit]) applies to messages already in
+    flight — including the adversary's own.  Every decision is drawn
+    from a dedicated SplitMix64 stream derived from
+    [plan.seed XOR fnv1a(label)], so a plan replays byte-for-byte and
+    perturbs no protocol or adversary randomness. *)
+
+type kind = Drop | Dup | Crash | Recover | Silence
+
+val kind_to_string : kind -> string
+
+type t
+
+(** [create plan ~label ~n] builds an injector for an [n]-processor net,
+    or [None] when the plan is trivial ({!Plan.is_trivial}) — the caller
+    then pays nothing, not even RNG draws. *)
+val create : Plan.t -> label:string -> n:int -> t option
+
+(** [begin_round t ~round ~on_fault] advances churn and silence windows
+    for [round]: crashed processors may recover (probability
+    [plan.recover]), live ones may crash (probability [plan.crash],
+    subject to [plan.max_down]) or start a silence window (probability
+    [plan.silence], for [plan.silence_len] rounds).  Each state change
+    is reported through [on_fault] (with [info] = window length for
+    {!Silence}, 0 otherwise), in ascending processor order.  Not calling
+    this (as the round-free async net does) leaves churn and silence
+    permanently off. *)
+val begin_round : t -> round:int -> on_fault:(kind -> proc:int -> info:int -> unit) -> unit
+
+(** [down t p]: is [p] crashed?  A crashed processor neither sends nor
+    receives, but keeps its state and resumes on recovery (omission
+    semantics; the engine still steps it). *)
+val down : t -> int -> bool
+
+(** [silent t p]: is [p] inside a silence window?  Silence suppresses a
+    good processor's sends only; it still receives. *)
+val silent : t -> int -> bool
+
+(** [send_suppressed t p] = [down t p || silent t p]. *)
+val send_suppressed : t -> int -> bool
+
+(** Per-delivery draw for a message in flight: omit it, deliver it
+    twice, or deliver it normally.  At most two Bernoulli draws, gated
+    on the corresponding rate being positive. *)
+val transit : t -> [ `Deliver | `Drop | `Duplicate ]

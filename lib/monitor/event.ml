@@ -21,6 +21,7 @@ type t =
       sent_msgs : int;
     }
   | Run_end of { net : int; rounds : int; total_bits : int }
+  | Fault of { net : int; round : int; kind : string; proc : int; dst : int; info : int }
   | Violation of {
       invariant : string;
       net : int;
@@ -75,6 +76,10 @@ let to_json = function
   | Run_end { net; rounds; total_bits } ->
     Printf.sprintf {|{"ev":"run_end","net":%d,"rounds":%d,"total_bits":%d}|} net rounds
       total_bits
+  | Fault { net; round; kind; proc; dst; info } ->
+    Printf.sprintf
+      {|{"ev":"fault","net":%d,"round":%d,"kind":"%s","proc":%d,"dst":%d,"info":%d}|}
+      net round (escape kind) proc dst info
   | Violation { invariant; net; proc; round; observed; bound; detail } ->
     Printf.sprintf
       {|{"ev":"violation","invariant":"%s","net":%d,"proc":%d,"round":%d,"observed":%.17g,"bound":%.17g,"detail":"%s"}|}
@@ -243,6 +248,11 @@ let of_json line =
        | Some (S "run_end") ->
          Some
            (Run_end { net = int "net"; rounds = int "rounds"; total_bits = int "total_bits" })
+       | Some (S "fault") ->
+         Some
+           (Fault
+              { net = int "net"; round = int "round"; kind = str "kind";
+                proc = int "proc"; dst = int "dst"; info = int "info" })
        | Some (S "violation") ->
          Some
            (Violation

@@ -45,6 +45,12 @@ type t =
           when re-emitted (a net metered again by a later phase), the
           {e last} snapshot per (net, proc) is authoritative *)
   | Run_end of { net : int; rounds : int; total_bits : int }
+  | Fault of { net : int; round : int; kind : string; proc : int; dst : int; info : int }
+      (** a benign fault injected by [Ks_faults] (docs/FAULTS.md):
+          [kind] is one of ["drop"], ["dup"], ["crash"], ["recover"],
+          ["silence"]; [dst] is -1 for processor-state faults
+          (crash/recover/silence); [info] carries the dropped or
+          duplicated message's bits, or the silence-window length *)
   | Violation of {
       invariant : string;
       net : int;

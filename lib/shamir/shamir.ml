@@ -438,4 +438,14 @@ module Make (F : Ks_field.Field_intf.S) = struct
           if !ok then Some out else None
       end
     end
+
+  (* Detection hook for graceful degradation: callers that can retry or
+     report (Ks_core.Comm, the fault experiments) count failed decodes
+     where they happen instead of silently losing them. *)
+  let reconstruct_vectors ?failures ~threshold holders =
+    match reconstruct_vectors ~threshold holders with
+    | Some _ as s -> s
+    | None ->
+      (match failures with Some r -> incr r | None -> ());
+      None
 end

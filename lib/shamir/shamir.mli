@@ -67,8 +67,12 @@ module Make (F : Ks_field.Field_intf.S) : sig
       on the probe), then every word is a Lagrange dot-product.  Words on
       which the two verification subsets disagree fall back to per-word
       Berlekamp–Welch.  Returns [None] when no degree-[threshold]
-      polynomial explains enough holders. *)
-  val reconstruct_vectors : threshold:int -> (int * F.t array) list -> F.t array option
+      polynomial explains enough holders — and, as a detection hook for
+      graceful degradation, increments [?failures] once per such failed
+      decode so callers can retry or report instead of silently losing
+      the value. *)
+  val reconstruct_vectors :
+    ?failures:int ref -> threshold:int -> (int * F.t array) list -> F.t array option
 
   (** [reconstruct_vector ~threshold per_word] reconstructs each word
       independently; [None] if any word fails. *)

@@ -38,15 +38,21 @@ let creeping_crash ~per_round =
   make ~name:"creeping-crash"
     ~adapt:(fun view ->
       let want = Stdlib.min per_round view.view_budget_left in
-      let rec pick acc k =
-        if k = 0 then acc
+      (* Bounded rejection sampling (16 tries per slot, as the workload
+         schedules do): with fewer honest processors left than [want] —
+         reachable when a harness hands the adversary a view with
+         [view_budget_left] at or above the honest count — unbounded
+         retries would never terminate.  Picking fewer than [want] is
+         fine; [Net.apply_corruptions] caps against the budget anyway. *)
+      let rec pick acc k tries =
+        if k = 0 || tries = 0 then acc
         else begin
           let p = Ks_stdx.Prng.int view.view_rng view.view_n in
-          if view.view_is_corrupt p || List.mem p acc then pick acc k
-          else pick (p :: acc) (k - 1)
+          if view.view_is_corrupt p || List.mem p acc then pick acc k (tries - 1)
+          else pick (p :: acc) (k - 1) (tries - 1)
         end
       in
-      if want <= 0 then [] else pick [] want)
+      if want <= 0 then [] else pick [] want (16 * want))
     ()
 
 let with_name name strategy = { strategy with name }

@@ -15,6 +15,7 @@ type 'msg t = {
   proc_seed : Prng.t;
   proc_rngs : Prng.t option array;
   msg_bits : 'msg -> int;
+  faults : Ks_faults.Injector.t option;
   mutable round : int;
   mutable hub : Ks_monitor.Hub.t option;
   mutable net_id : int;
@@ -38,10 +39,19 @@ let apply_corruptions t procs =
       end)
     procs
 
-let create ?hub ?(label = "net") ~seed ~n ~budget ~msg_bits ~strategy () =
+let create ?hub ?faults ?(label = "net") ~seed ~n ~budget ~msg_bits ~strategy () =
   if n <= 0 then invalid_arg "Net.create: n must be positive";
   if budget < 0 || budget >= n then invalid_arg "Net.create: budget out of range";
   let hub = match hub with Some _ as h -> h | None -> Ks_monitor.Hub.ambient () in
+  (* Benign-fault layer: an explicit plan wins, otherwise pick up the
+     ambient one.  Trivial/absent plans build no injector, so unfaulted
+     runs draw no extra randomness and emit no extra events. *)
+  let faults =
+    match faults with Some _ as f -> f | None -> Ks_faults.Plan.ambient ()
+  in
+  let faults =
+    Option.bind faults (fun plan -> Ks_faults.Injector.create plan ~label ~n)
+  in
   let root = Prng.create seed in
   let t =
     {
@@ -58,6 +68,7 @@ let create ?hub ?(label = "net") ~seed ~n ~budget ~msg_bits ~strategy () =
       proc_seed = Prng.split root;
       proc_rngs = Array.make n None;
       msg_bits;
+      faults;
       round = 0;
       hub;
       net_id = 0;
@@ -136,10 +147,33 @@ let make_view t good_outgoing =
     view_rng = t.adversary_rng;
   }
 
+let fault_event t kind ~proc ~dst ~info =
+  Ks_monitor.Event.Fault
+    { net = t.net_id; round = t.round;
+      kind = Ks_faults.Injector.kind_to_string kind; proc; dst; info }
+
 let exchange t outgoing =
   emit t (Ks_monitor.Event.Round_start { net = t.net_id; round = t.round });
+  (* Benign churn first: crash/recover/silence state advances before any
+     traffic moves, and below the adversary — a crashed or silenced
+     processor's messages never even enter the network for the adversary
+     to rush against. *)
+  (match t.faults with
+   | None -> ()
+   | Some inj ->
+     Ks_faults.Injector.begin_round inj ~round:t.round
+       ~on_fault:(fun kind ~proc ~info ->
+         emit t (fault_event t kind ~proc ~dst:(-1) ~info)));
   (* Only good processors' messages enter the network from the protocol. *)
   let good_outgoing = List.filter (fun e -> not t.corrupt.(e.src)) outgoing in
+  let good_outgoing =
+    match t.faults with
+    | None -> good_outgoing
+    | Some inj ->
+      List.filter
+        (fun e -> not (Ks_faults.Injector.send_suppressed inj e.src))
+        good_outgoing
+  in
   (* Adaptive corruption: the adversary inspects what it may see, then
      takes over more processors before delivery. *)
   let requested = t.strategy.adapt (make_view t good_outgoing) in
@@ -152,6 +186,15 @@ let exchange t outgoing =
     List.filter (fun e -> t.corrupt.(e.src) && e.dst >= 0 && e.dst < t.size)
       (t.strategy.act (make_view t good_outgoing))
   in
+  (* A crashed machine cannot transmit even under adversarial control
+     (silence windows are a protocol-layer omission and bind good
+     processors only). *)
+  let adversarial =
+    match t.faults with
+    | None -> adversarial
+    | Some inj ->
+      List.filter (fun e -> not (Ks_faults.Injector.down inj e.src)) adversarial
+  in
   (* Accounting and delivery in one pass: each payload is measured once,
      the sender pays, the (good) receiver is charged, and the per-round
      totals for Round_end accumulate alongside instead of being re-folded
@@ -160,6 +203,26 @@ let exchange t outgoing =
   let deliver e ~bits =
     inboxes.(e.dst) <- e :: inboxes.(e.dst);
     if not t.corrupt.(e.dst) then Meter.charge_recv t.meter e.dst ~bits
+  in
+  (* In-flight faults: the sender has already paid for the message (and
+     its Send event is already in the trace); omission loses it before
+     the receiver is charged, duplication charges the receiver twice.  A
+     crashed destination receives nothing, deterministically. *)
+  let deliver =
+    match t.faults with
+    | None -> deliver
+    | Some inj ->
+      fun e ~bits ->
+        if Ks_faults.Injector.down inj e.dst then ()
+        else (
+          match Ks_faults.Injector.transit inj with
+          | `Deliver -> deliver e ~bits
+          | `Drop ->
+            emit t (fault_event t Ks_faults.Injector.Drop ~proc:e.src ~dst:e.dst ~info:bits)
+          | `Duplicate ->
+            deliver e ~bits;
+            deliver e ~bits;
+            emit t (fault_event t Ks_faults.Injector.Dup ~proc:e.src ~dst:e.dst ~info:bits))
   in
   let good_count = ref 0 and good_bits = ref 0 in
   List.iter

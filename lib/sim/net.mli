@@ -15,8 +15,15 @@
     + everything is delivered simultaneously; good processors' sends are
       charged to the meter.
 
-    The network never duplicates, drops or reorders good processors'
-    messages and never forges a good source address. *)
+    The network never reorders good processors' messages and never
+    forges a good source address.  It {e can} drop or duplicate messages
+    — but only under an explicit benign-fault plan ([?faults], or the
+    ambient [Ks_faults.Plan]); with no plan the channels are perfectly
+    reliable.  Benign faults sit {e below} the adversary: crash/recover
+    churn and silence windows suppress sends before the adversary sees
+    the round's traffic, in-flight omission/duplication applies to
+    adversarial messages too, and none of it consumes the corruption
+    budget.  See docs/FAULTS.md. *)
 
 type 'msg t
 
@@ -31,9 +38,18 @@ type 'msg t
     [?label] names the protocol phase in the event stream ("tree",
     "a2e", "rabin", ...).  With no hub in scope the instrumentation is
     inert; it never touches the PRNG streams either way, so monitored
-    and unmonitored runs are bit-identical. *)
+    and unmonitored runs are bit-identical.
+
+    Faults: [?faults] installs a benign-fault plan for this net,
+    defaulting to the ambient plan ([Ks_faults.Plan.ambient ()]).  A
+    trivial or absent plan builds no injector — no extra RNG draws, no
+    extra events — so unfaulted runs are bit-identical to the
+    pre-fault-layer behaviour.  The injector draws from its own stream
+    seeded by [plan.seed] and the net label, never from the engine,
+    adversary or processor streams. *)
 val create :
   ?hub:Ks_monitor.Hub.t ->
+  ?faults:Ks_faults.Plan.t ->
   ?label:string ->
   seed:int64 ->
   n:int ->

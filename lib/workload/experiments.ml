@@ -905,6 +905,142 @@ let t15_async ?(ns = [ 32; 64; 128 ]) ?(seeds = [ 1; 2; 3 ]) () =
     rows;
   rows
 
+let t16_faults ?(n = 32) ?(seeds = [ 1; 2 ]) () =
+  (* Breaking-point table for the benign-fault layer (docs/FAULTS.md):
+     sweep fault intensity and Byzantine corruption fraction together,
+     past the 1/3 threshold, and watch how gracefully the stack degrades.
+     Faults come from ambient Ks_faults plans, so every net a run creates
+     (tree, a2e, rabin) draws an independent stream from one plan without
+     touching the adversary's budget.  The Everywhere runs get a bounded
+     re-request budget (retries=2): robust-decode failures become
+     detected, bounded recovery instead of silent data loss.  The
+     "bits x none" column is max bits/proc relative to the fault-free
+     cell at the same corruption fraction — the measured net effect of
+     the faults.  It can land below 1.0: retry rounds and duplicated
+     deliveries add bits, but crashed or silenced senders and dropped
+     requests also mean fewer responses to pay for. *)
+  let params = Ks_core.Params.practical n in
+  let plan_of s =
+    match Ks_faults.Plan.of_string s with Ok p -> p | Error e -> invalid_arg e
+  in
+  let plans =
+    [
+      ("none", Ks_faults.Plan.none);
+      ("drop 2%", plan_of "seed=21,drop=0.02");
+      ("drop 5% dup 2%", plan_of "seed=22,drop=0.05,dup=0.02");
+      ("churn 2% cap 8", plan_of "seed=23,crash=0.02,recover=0.25,max_down=8");
+    ]
+  in
+  let fractions = [ 0.20; 0.30; 0.36 ] in
+  let everywhere_run plan ~budget ~seed =
+    Ks_faults.Plan.with_plan plan (fun () ->
+        let rng = Prng.create (seed_of n (seed + 5200)) in
+        let inputs = Inputs.generate rng ~n Inputs.Split in
+        let sc = Attacks.byzantine_static in
+        let strategy =
+          Ks_sim.Adversary.make ~name:"static"
+            ~initial_corruptions:(fun rng ~n ~budget:b ->
+              Ks_sim.Adversary.uniform_random_set rng ~n
+                ~budget:(Stdlib.min budget b))
+            ()
+        in
+        Ks_core.Everywhere.run ~retries:2 ~params ~seed:(seed_of n (seed + 5200))
+          ~inputs ~behavior:sc.Attacks.behavior ~tree_strategy:strategy
+          ~a2e_strategy:(fun ~carried ~coin:_ ->
+            Ks_core.Everywhere.carry_corruptions Ks_sim.Adversary.none ~carried)
+          ~budget ())
+  in
+  let rabin_run plan ~budget ~seed =
+    Ks_faults.Plan.with_plan plan (fun () ->
+        let rng = Prng.create (seed_of n (seed + 5300)) in
+        let inputs = Inputs.generate rng ~n Inputs.Split in
+        let lg = Intmath.ceil_log2 n in
+        Ks_baselines.Rabin.run ~seed:(seed_of n (seed + 5300)) ~n ~budget
+          ~rounds:((2 * lg) + 6) ~epsilon:params.Ks_core.Params.epsilon ~inputs
+          ~strategy:(Attacks.vote_flipper Attacks.byzantine_static ~params))
+  in
+  (* Every (plan, fraction) cell once; the fault-free row doubles as the
+     bits reference for the overhead column. *)
+  let cells =
+    List.map
+      (fun (label, plan) ->
+        ( label,
+          List.map
+            (fun f ->
+              let budget =
+                Stdlib.min (n - 1) (int_of_float (f *. float_of_int n))
+              in
+              let runs =
+                List.map (fun seed -> everywhere_run plan ~budget ~seed) seeds
+              in
+              let rabins =
+                List.map (fun seed -> rabin_run plan ~budget ~seed) seeds
+              in
+              (f, runs, rabins))
+            fractions ))
+      plans
+  in
+  let mean_bits runs =
+    mean_of
+      (List.map (fun r -> float_of_int r.Ks_core.Everywhere.max_sent_bits_total) runs)
+  in
+  let base_bits f =
+    match cells with
+    | (_, fcells) :: _ ->
+      let _, runs, _ = List.find (fun (f', _, _) -> f' = f) fcells in
+      mean_bits runs
+    | [] -> assert false
+  in
+  let rows =
+    List.concat_map
+      (fun (label, fcells) ->
+        List.map
+          (fun (f, runs, rabins) ->
+            let total = List.length runs in
+            let succ =
+              List.length (List.filter (fun r -> r.Ks_core.Everywhere.success) runs)
+            in
+            let degraded =
+              List.length (List.filter (fun r -> r.Ks_core.Everywhere.degraded) runs)
+            in
+            let retries =
+              mean_of
+                (List.map (fun r -> float_of_int r.Ks_core.Everywhere.retries_used) runs)
+            in
+            let fails =
+              mean_of
+                (List.map
+                   (fun r -> float_of_int r.Ks_core.Everywhere.decode_failures)
+                   runs)
+            in
+            let rabin_agree =
+              List.length
+                (List.filter (fun o -> o.Ks_baselines.Outcome.agreement) rabins)
+            in
+            [
+              label;
+              Table.fpct f;
+              Printf.sprintf "%d/%d" succ total;
+              Printf.sprintf "%d/%d" degraded total;
+              Table.ffloat ~decimals:1 retries;
+              Table.ffloat ~decimals:1 fails;
+              Printf.sprintf "%.2fx" (mean_bits runs /. base_bits f);
+              Printf.sprintf "%d/%d" rabin_agree total;
+            ])
+          fcells)
+      cells
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "T16: breaking points under benign faults + byzantine corruption, n=%d, \
+          retries=2" n)
+    ~headers:
+      [ "fault plan"; "corrupt"; "success"; "degraded"; "retries"; "decode fails";
+        "bits x none"; "rabin agree" ]
+    rows;
+  rows
+
 let standard_monitors () =
   [
     Ks_monitor.Monitor.corruption_budget ();
@@ -912,10 +1048,10 @@ let standard_monitors () =
     Ks_monitor.Monitor.round_bound ();
   ]
 
-let monitored ?trace name f =
+let monitored ?trace ?(monitors = standard_monitors) name f =
   (* Shared sinks ([run_all ?trace] reuses one across tables): the hub
      must not close what it does not own. *)
-  let hub = Ks_monitor.Hub.create ?trace ~close_trace:false (standard_monitors ()) in
+  let hub = Ks_monitor.Hub.create ?trace ~close_trace:false (monitors ()) in
   let result = Ks_monitor.Hub.with_ambient hub f in
   match Ks_monitor.Hub.finish hub with
   | [] -> result
@@ -926,7 +1062,7 @@ let monitored ?trace name f =
          (List.length vs))
 
 let run_all ?(quick = false) ?trace () =
-  let monitored name f = monitored ?trace name f in
+  let monitored ?monitors name f = monitored ?trace ?monitors name f in
   let ns_scaling = if quick then [ 64; 128 ] else [ 64; 128; 256; 512 ] in
   let seeds = if quick then [ 1 ] else [ 1; 2 ] in
   let pts = monitored "scaling" (fun () -> collect_scaling ~ns:ns_scaling ~seeds) in
@@ -970,4 +1106,12 @@ let run_all ?(quick = false) ?trace () =
            ~ns:(if quick then [ 32 ] else [ 32; 64; 128 ])
            ~seeds:(if quick then [ 1 ] else [ 1; 2; 3 ])
            ()));
+  (* T16 drives deliberately faulted nets: retry rounds and duplicated
+     deliveries overrun the fault-free bit and round envelopes by
+     design, so only the budget invariant is enforced — benign faults
+     must never consume the adversary's corruption budget. *)
+  monitored "t16"
+    ~monitors:(fun () -> [ Ks_monitor.Monitor.corruption_budget () ])
+    (fun () ->
+      ignore (t16_faults ~n:32 ~seeds:(if quick then [ 1 ] else [ 1; 2 ]) ()));
   match trace with Some sink -> Ks_monitor.Trace.close sink | None -> ()

@@ -75,6 +75,12 @@ val t14_parameters : unit -> row list
     (MMR'14) with a common-coin oracle, under hostile scheduling. *)
 val t15_async : ?ns:int list -> ?seeds:int list -> unit -> row list
 
+(** T16: breaking points under benign faults (docs/FAULTS.md) crossed
+    with Byzantine corruption past 1/3 — agreement and degradation rate,
+    retry rounds taken, residual decode failures, bit overhead relative
+    to the fault-free cell, and the Rabin baseline under the same plan. *)
+val t16_faults : ?n:int -> ?seeds:int list -> unit -> row list
+
 (** The always-on accounting monitors every experiment runs under:
     corruption-budget, Õ(√n) bit budget and polylog round bound (the
     latter two scoped to the King–Saia phase networks — the O(n²)
@@ -82,9 +88,14 @@ val t15_async : ?ns:int list -> ?seeds:int list -> unit -> row list
 val standard_monitors : unit -> Ks_monitor.Monitor.t list
 
 (** [monitored ?trace name f] — run [f] under an ambient hub with
-    {!standard_monitors}; on any violation, print the violation table
-    and raise [Failure]. *)
-val monitored : ?trace:Ks_monitor.Trace.sink -> string -> (unit -> 'a) -> 'a
+    {!standard_monitors} (or [?monitors]); on any violation, print the
+    violation table and raise [Failure]. *)
+val monitored :
+  ?trace:Ks_monitor.Trace.sink ->
+  ?monitors:(unit -> Ks_monitor.Monitor.t list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
 
 (** [run_all ~quick ()] — every table, in order, each net-driving table
     guarded by {!monitored}.  [?trace] streams all of them into one

@@ -48,6 +48,38 @@ let test_ba_sim_help () =
   Alcotest.(check int) "ba_sim --help exits 0" 0 code;
   Alcotest.(check bool) "help mentions the run command" true (contains out "run")
 
+(* The run command's documented exit codes (docs/FAULTS.md): 0 = agreed
+   cleanly, 3 = degraded but agreed, 4 = failed; bad command lines stay
+   at cmdliner's 124.  Each pin is a deterministic seeded run. *)
+let test_ba_sim_exit_codes () =
+  let code, out, _ =
+    run (ba_sim ^ " run --protocol ae -n 32 --adversary honest --seed 7")
+  in
+  Alcotest.(check int) "clean honest run exits 0" 0 code;
+  Alcotest.(check bool) "reports no degradation" true
+    (contains out "decode_failures=0");
+  let code, out, _ =
+    run
+      (ba_sim
+      ^ " run --protocol ae -n 32 --adversary honest --seed 7 --faults drop=0.05")
+  in
+  Alcotest.(check int) "benign drops degrade to exit 3" 3 code;
+  Alcotest.(check bool) "agreement still reported" true
+    (contains out "agreement=100.0%");
+  let code, out, _ =
+    run
+      (ba_sim
+      ^ " run --protocol phase-king -n 32 --adversary honest --seed 7 --faults \
+         drop=0.8")
+  in
+  Alcotest.(check int) "heavy drops break phase-king: exit 4" 4 code;
+  Alcotest.(check bool) "failure is explicit" true (contains out "FAILED");
+  let code, _, err =
+    run (ba_sim ^ " run --protocol rabin -n 16 --faults nonsense=1")
+  in
+  Alcotest.(check int) "malformed fault plan exits 124" 124 code;
+  Alcotest.(check bool) "names the bad key" true (contains err "nonsense")
+
 let test_bench_unknown_flag () =
   check_usage "bench unknown option" (run (bench ^ " --definitely-not-a-flag"))
     ~expect_code:2;
@@ -109,6 +141,7 @@ let () =
         [
           Alcotest.test_case "unknown flag" `Quick test_ba_sim_unknown_flag;
           Alcotest.test_case "help" `Quick test_ba_sim_help;
+          Alcotest.test_case "exit codes" `Quick test_ba_sim_exit_codes;
         ] );
       ( "bench",
         [ Alcotest.test_case "unknown flag" `Quick test_bench_unknown_flag ] );

@@ -25,6 +25,12 @@ let test_r1 () =
   check_rules "R1 fires twice in lib/core" ~path:"lib/core/fixture.ml" src [ "R1"; "R1" ];
   check_rules "R1 fires in bin too" ~path:"bin/fixture.ml" src [ "R1"; "R1" ];
   check_rules "R1 exempt in lib/stdx (the PRNG home)" ~path:"lib/stdx/fixture.ml" src [];
+  (* The fault injector draws from its own seeded plan stream; ambient
+     randomness there would silently break fault-plan replay. *)
+  check_rules "R1 fires in lib/faults" ~path:"lib/faults/fixture.ml" src
+    [ "R1"; "R1" ];
+  check_rules "seeded injector stream passes" ~path:"lib/faults/fixture.ml"
+    "let x t = Ks_stdx.Prng.bernoulli t.rng t.plan.drop\n" [];
   check_rules "seeded PRNG passes" ~path:"lib/core/fixture.ml"
     "let x rng = Ks_stdx.Prng.int rng 10\n" []
 
@@ -83,6 +89,12 @@ let test_r5 () =
   check_rules "R5 fires anywhere under lib/" ~path:"lib/monitor/fixture.ml" src
     [ "R5"; "R5" ];
   check_rules "R5 out of scope outside lib/" ~path:"bench/fixture.ml" src [];
+  (* Fault timing must be measured in rounds, never wall clock — a
+     wall-clock fault schedule could not replay. *)
+  check_rules "R5 fires in lib/faults" ~path:"lib/faults/fixture.ml" src
+    [ "R5"; "R5" ];
+  check_rules "round-based silence windows pass" ~path:"lib/faults/fixture.ml"
+    "let silent t p = t.silent_until.(p) > t.round\n" [];
   check_rules "logical round counters pass" ~path:"lib/sim/fixture.ml"
     "let a rounds = rounds + 1\n" []
 

@@ -153,6 +153,79 @@ let test_engine_freezes_corrupt () =
   Alcotest.(check int) "frozen at corruption" 2 states.(0);
   Alcotest.(check int) "good steps all rounds" 5 states.(1)
 
+(* Synthetic adversary views, for driving [adapt] at budget extremes the
+   Net constructor itself forbids (budget >= n). *)
+let mk_view ?(n = 8) ?(budget_left = 0) ?(is_corrupt = fun _ -> false) () =
+  {
+    Types.view_round = 0;
+    view_n = n;
+    view_is_corrupt = is_corrupt;
+    view_corrupt = [];
+    view_budget_left = budget_left;
+    view_visible = [];
+    view_rng = Prng.create 9L;
+  }
+
+let test_creeping_crash_terminates () =
+  (* Regression: with [view_budget_left = n] the rejection sampler used
+     to spin forever once every processor was corrupt.  Both extremes
+     must return (bounded tries), picking only honest processors. *)
+  let n = 8 in
+  let s : int Types.strategy = Adversary.creeping_crash ~per_round:n in
+  let all_corrupt =
+    s.Types.adapt (mk_view ~n ~budget_left:n ~is_corrupt:(fun _ -> true) ())
+  in
+  Alcotest.(check (list int)) "all corrupt: nothing pickable" [] all_corrupt;
+  let fresh = s.Types.adapt (mk_view ~n ~budget_left:n ()) in
+  Alcotest.(check bool) "picks at most n" true (List.length fresh <= n);
+  Alcotest.(check int) "no duplicates" (List.length fresh)
+    (List.length (List.sort_uniq compare fresh));
+  (* Half corrupt, budget still n: only the honest half is pickable. *)
+  let half = s.Types.adapt (mk_view ~n ~budget_left:n ~is_corrupt:(fun p -> p < n / 2) ()) in
+  Alcotest.(check bool) "only honest picked" true
+    (List.for_all (fun p -> p >= n / 2) half)
+
+let test_budget_edges_all_schedules () =
+  (* Every canned workload schedule must cope with the two budget
+     extremes: a zero budget (adaptation requests are all refused, and
+     the schedule must not corrupt anyone) and a synthetic view claiming
+     [view_budget_left = n] (more budget than honest processors — the
+     [adapt] call must still terminate and stay within bounds). *)
+  let n = 16 in
+  let params = Ks_core.Params.practical n in
+  List.iter
+    (fun sc ->
+      let label = sc.Ks_workload.Attacks.label in
+      let strategy : int Types.strategy =
+        Ks_workload.Attacks.generic_strategy sc ~params
+      in
+      let net =
+        Net.create ~seed:3L ~n ~budget:0 ~msg_bits:(fun (_ : int) -> 1)
+          ~strategy ()
+      in
+      for _ = 1 to 4 do
+        ignore (Net.exchange net [ envelope 0 1 1 ])
+      done;
+      Alcotest.(check int)
+        (label ^ ": budget 0 corrupts nobody")
+        0 (Net.corrupt_count net);
+      let picked =
+        strategy.Types.adapt
+          (mk_view ~n ~budget_left:n ~is_corrupt:(fun _ -> false) ())
+      in
+      Alcotest.(check bool)
+        (label ^ ": budget n adapt stays within n")
+        true
+        (List.length picked <= n && List.for_all (fun p -> p >= 0 && p < n) picked);
+      let saturated =
+        strategy.Types.adapt
+          (mk_view ~n ~budget_left:n ~is_corrupt:(fun _ -> true) ())
+      in
+      Alcotest.(check (list int))
+        (label ^ ": everyone corrupt, nothing pickable")
+        [] saturated)
+    Ks_workload.Attacks.all
+
 let test_meter_merge () =
   let a = Meter.create ~n:4 and b = Meter.create ~n:4 in
   Meter.charge_send a 0 ~bits:10;
@@ -182,6 +255,13 @@ let () =
         [
           Alcotest.test_case "runs protocol" `Quick test_engine_runs_protocol;
           Alcotest.test_case "freezes corrupt" `Quick test_engine_freezes_corrupt;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "creeping crash terminates" `Quick
+            test_creeping_crash_terminates;
+          Alcotest.test_case "budget edges, all schedules" `Quick
+            test_budget_edges_all_schedules;
         ] );
       ("meter", [ Alcotest.test_case "merge" `Quick test_meter_merge ]);
     ]
