@@ -23,7 +23,7 @@ module Prng = Ks_stdx.Prng
 
 let scaling_pts = lazy (Experiments.collect_scaling ~ns:[ 64; 128; 256 ] ~seeds:[ 1 ])
 
-let known_tables = List.init 16 (fun i -> Printf.sprintf "t%d" (i + 1))
+let known_tables = List.init 17 (fun i -> Printf.sprintf "t%d" (i + 1))
 
 let run_table = function
   | "t1" -> ignore (Experiments.t1_bits (Lazy.force scaling_pts))
@@ -42,10 +42,11 @@ let run_table = function
   | "t14" -> ignore (Experiments.t14_parameters ())
   | "t15" -> ignore (Experiments.t15_async ())
   | "t16" -> ignore (Experiments.t16_faults ())
+  | "t17" -> ignore (Experiments.t17_attacks ())
   | other ->
     (* Callers validate against [known_tables] first; keep a hard failure
        here so the two lists cannot silently drift apart. *)
-    invalid_arg (Printf.sprintf "run_table: %S not in t1..t16" other)
+    invalid_arg (Printf.sprintf "run_table: %S not in t1..t17" other)
 
 (* --- Bechamel micro-benchmarks: one kernel per table. --- *)
 
@@ -488,7 +489,7 @@ let () =
      | [ "--table"; name ] ->
        if List.mem name known_tables then traced (fun () -> run_table name)
        else begin
-         Printf.eprintf "bench: unknown table %S (expected t1..t16)\n" name;
+         Printf.eprintf "bench: unknown table %S (expected t1..t17)\n" name;
          usage_and_exit ()
        end
      | [ "--quick" ] -> Experiments.run_all ~quick:true ?trace ()

@@ -22,6 +22,15 @@ let scenario_of_name name =
       (Printf.sprintf "unknown adversary %S (one of: %s)" name
          (String.concat ", " (List.map (fun s -> s.Attacks.label) Attacks.all)))
 
+let attack_of_name name =
+  match Ks_attacks.find name with
+  | Some a -> Ok a
+  | None ->
+    Error
+      (Printf.sprintf "unknown attack %S (one of: %s; see --list-attacks)" name
+         (String.concat ", "
+            (List.map (fun a -> a.Ks_attacks.name) Ks_attacks.all)))
+
 let inputs_of_name rng ~n = function
   | "split" -> Ok (Inputs.generate rng ~n Inputs.Split)
   | "random" -> Ok (Inputs.generate rng ~n Inputs.Random)
@@ -37,20 +46,8 @@ let exit_agreed = 0
 let exit_degraded = 3
 let exit_failed = 4
 
-let run_everywhere ~retries ~params ~scenario ~seed ~inputs =
-  let n = params.Params.n in
-  let budget = Attacks.budget_of scenario ~params in
-  let tree = Ks_topology.Tree.build (Prng.create seed) (Params.tree_config params) in
-  let r =
-    Ks_core.Everywhere.run ~retries ~params ~seed ~inputs
-      ~behavior:scenario.Attacks.behavior
-      ~tree_strategy:(Attacks.tree_strategy scenario ~params ~tree)
-      ~a2e_strategy:(fun ~carried ~coin ->
-        Attacks.a2e_strategy scenario ~params ~coin ~carried)
-      ~budget ()
-  in
-  Printf.printf "everywhere BA: n=%d adversary=%s budget=%d\n" n scenario.Attacks.label
-    budget;
+let report_everywhere ~label ~budget ~n r =
+  Printf.printf "everywhere BA: n=%d adversary=%s budget=%d\n" n label budget;
   Printf.printf "  success=%b safe=%b value=%s\n" r.Ks_core.Everywhere.success
     r.Ks_core.Everywhere.safe
     (match r.Ks_core.Everywhere.agreed_value with
@@ -62,10 +59,12 @@ let run_everywhere ~retries ~params ~scenario ~seed ~inputs =
   Printf.printf "  max bits/proc: tournament=%d amplify=%d total=%d\n"
     r.Ks_core.Everywhere.max_sent_bits_ae r.Ks_core.Everywhere.max_sent_bits_a2e
     r.Ks_core.Everywhere.max_sent_bits_total;
-  Printf.printf "  degraded=%b decode_failures=%d retries_used=%d shortfalls=%d\n"
+  Printf.printf
+    "  degraded=%b decode_failures=%d retries_used=%d shortfalls=%d quarantined=%d\n"
     r.Ks_core.Everywhere.degraded r.Ks_core.Everywhere.decode_failures
     r.Ks_core.Everywhere.retries_used
-    r.Ks_core.Everywhere.ae.Ks_core.Ae_ba.quorum_shortfalls;
+    r.Ks_core.Everywhere.ae.Ks_core.Ae_ba.quorum_shortfalls
+    (Ks_core.Comm.quarantine_events r.Ks_core.Everywhere.ae.Ks_core.Ae_ba.comm);
   if not r.Ks_core.Everywhere.success then begin
     Printf.printf "  FAILED: no everywhere agreement\n";
     `Ok exit_failed
@@ -73,10 +72,43 @@ let run_everywhere ~retries ~params ~scenario ~seed ~inputs =
   else if r.Ks_core.Everywhere.degraded then `Ok exit_degraded
   else `Ok exit_agreed
 
-let run_ae ~retries ~params ~scenario ~seed ~inputs =
+let run_everywhere ~retries ~quarantine ~params ~scenario ~seed ~inputs =
+  let n = params.Params.n in
+  let budget = Attacks.budget_of scenario ~params in
   let tree = Ks_topology.Tree.build (Prng.create seed) (Params.tree_config params) in
   let r =
-    Ks_core.Ae_ba.run ~retries ~params ~seed ~inputs
+    Ks_core.Everywhere.run ~retries ~quarantine ~params ~seed ~inputs
+      ~behavior:scenario.Attacks.behavior
+      ~tree_strategy:(Attacks.tree_strategy scenario ~params ~tree)
+      ~a2e_strategy:(fun ~carried ~coin ->
+        Attacks.a2e_strategy scenario ~params ~coin ~carried)
+      ~budget ()
+  in
+  report_everywhere ~label:scenario.Attacks.label ~budget ~n r
+
+(* Attack runs aim at the protocol's real topology: the tree the attack
+   strategies target is rebuilt from the same seed plumbing
+   [Everywhere.run] uses internally, not the CLI seed directly. *)
+let run_everywhere_attack ~retries ~quarantine ~params ~atk ~fraction ~seed ~inputs =
+  let n = params.Params.n in
+  let budget = Ks_attacks.budget ~params ~fraction in
+  let tree =
+    Ks_attacks.protocol_tree ~params ~ae_seed:(Ks_attacks.ae_seed_of seed)
+  in
+  let r =
+    Ks_core.Everywhere.run ~retries ~quarantine ~params ~seed ~inputs
+      ~behavior:atk.Ks_attacks.behavior
+      ~tree_strategy:(atk.Ks_attacks.tree ~params ~tree)
+      ~a2e_strategy:(fun ~carried ~coin ->
+        atk.Ks_attacks.a2e ~params ~carried ~coin)
+      ~budget ()
+  in
+  report_everywhere ~label:("attack:" ^ atk.Ks_attacks.name) ~budget ~n r
+
+let run_ae ~retries ~quarantine ~params ~scenario ~seed ~inputs =
+  let tree = Ks_topology.Tree.build (Prng.create seed) (Params.tree_config params) in
+  let r =
+    Ks_core.Ae_ba.run ~retries ~quarantine ~params ~seed ~inputs
       ~behavior:scenario.Attacks.behavior
       ~strategy:(Attacks.tree_strategy scenario ~params ~tree)
       ~budget:(Attacks.budget_of scenario ~params) ()
@@ -92,10 +124,61 @@ let run_ae ~retries ~params ~scenario ~seed ~inputs =
     r.Ks_core.Ae_ba.elections;
   let decode_failures = Ks_core.Comm.decode_failures r.Ks_core.Ae_ba.comm in
   let retries_used = Ks_core.Comm.retries_used r.Ks_core.Ae_ba.comm in
-  Printf.printf "  decode_failures=%d retries_used=%d shortfalls=%d\n" decode_failures
-    retries_used r.Ks_core.Ae_ba.quorum_shortfalls;
+  Printf.printf "  decode_failures=%d retries_used=%d shortfalls=%d quarantined=%d\n"
+    decode_failures retries_used r.Ks_core.Ae_ba.quorum_shortfalls
+    (Ks_core.Comm.quarantine_events r.Ks_core.Ae_ba.comm);
   if decode_failures > 0 || retries_used > 0 then `Ok exit_degraded
   else `Ok exit_agreed
+
+let run_ae_attack ~retries ~quarantine ~params ~atk ~fraction ~seed ~inputs =
+  (* Standalone [Ae_ba.run] builds its tree from its own seed (no
+     tournament-seed derivation step), so mirror that here. *)
+  let tree =
+    Ks_topology.Tree.build
+      (Prng.split (Prng.create seed))
+      (Params.tree_config params)
+  in
+  let r =
+    Ks_core.Ae_ba.run ~retries ~quarantine ~params ~seed ~inputs
+      ~behavior:atk.Ks_attacks.behavior
+      ~strategy:(atk.Ks_attacks.tree ~params ~tree)
+      ~budget:(Ks_attacks.budget ~params ~fraction) ()
+  in
+  Printf.printf "almost-everywhere BA: agreement=%.1f%% majority=%b valid=%b\n"
+    (100.0 *. r.Ks_core.Ae_ba.agreement)
+    r.Ks_core.Ae_ba.majority r.Ks_core.Ae_ba.valid;
+  Printf.printf "  decode_failures=%d retries_used=%d shortfalls=%d quarantined=%d\n"
+    (Ks_core.Comm.decode_failures r.Ks_core.Ae_ba.comm)
+    (Ks_core.Comm.retries_used r.Ks_core.Ae_ba.comm)
+    r.Ks_core.Ae_ba.quorum_shortfalls
+    (Ks_core.Comm.quarantine_events r.Ks_core.Ae_ba.comm);
+  if not (r.Ks_core.Ae_ba.majority && r.Ks_core.Ae_ba.valid) then begin
+    Printf.printf "  FAILED: no almost-everywhere majority\n";
+    `Ok exit_failed
+  end
+  else if
+    Ks_core.Comm.decode_failures r.Ks_core.Ae_ba.comm > 0
+    || Ks_core.Comm.retries_used r.Ks_core.Ae_ba.comm > 0
+  then `Ok exit_degraded
+  else `Ok exit_agreed
+
+let run_rabin_attack ~params ~atk ~fraction ~seed ~inputs =
+  let n = params.Params.n in
+  let budget = Ks_attacks.budget ~params ~fraction in
+  let lg = Ks_stdx.Intmath.ceil_log2 n in
+  let o =
+    Ks_baselines.Rabin.run ~seed ~n ~budget ~rounds:((2 * lg) + 6)
+      ~epsilon:params.Params.epsilon ~inputs
+      ~strategy:(atk.Ks_attacks.vote ~params)
+  in
+  Printf.printf "baseline: agreement=%b validity=%b rounds=%d max bits/proc=%d\n"
+    o.Ks_baselines.Outcome.agreement o.Ks_baselines.Outcome.validity
+    o.Ks_baselines.Outcome.rounds o.Ks_baselines.Outcome.max_sent_bits;
+  if o.Ks_baselines.Outcome.agreement then `Ok exit_agreed
+  else begin
+    Printf.printf "  FAILED: disagreement\n";
+    `Ok exit_failed
+  end
 
 let run_baseline name ~params ~scenario ~seed ~inputs =
   let n = params.Params.n in
@@ -136,7 +219,8 @@ let run_async ~n ~scenario ~seed ~inputs =
   let byz =
     match scenario.Attacks.behavior with
     | Ks_core.Comm.Silent -> Ks_async.Async_ba.Silent
-    | Ks_core.Comm.Follow | Ks_core.Comm.Garbage | Ks_core.Comm.Flip ->
+    | Ks_core.Comm.Follow | Ks_core.Comm.Garbage | Ks_core.Comm.Flip
+    | Ks_core.Comm.Equivocate ->
       Ks_async.Async_ba.Equivocate
   in
   let f = if scenario.Attacks.label = "honest" then 0 else f in
@@ -159,15 +243,19 @@ let run_async ~n ~scenario ~seed ~inputs =
 (* Every run executes under the invariant monitors: the accounting set of
    [Experiments.standard_monitors] plus agreement/validity over the actual
    decisions.  [--trace FILE] additionally streams the JSONL event trace. *)
-let monitored ~trace_file ~inputs f =
+let monitored ?(envelopes = true) ~trace_file ~inputs f =
   match
     try Ok (Option.map Ks_monitor.Trace.file trace_file)
     with Sys_error e -> Error (`Error (false, Printf.sprintf "--trace: %s" e))
   with
   | Error e -> e
   | Ok trace ->
+  (* Attack runs flood crafted traffic and may corrupt past 1/3 on
+     purpose, so the bit/round envelopes do not apply to them; the
+     budget, agreement and validity invariants always do. *)
   let monitors =
-    Ks_workload.Experiments.standard_monitors ()
+    (if envelopes then Ks_workload.Experiments.standard_monitors ()
+     else [ Ks_monitor.Monitor.corruption_budget () ])
     @ [
         Ks_monitor.Monitor.agreement ();
         Ks_monitor.Monitor.validity ~inputs:(Array.map Bool.to_int inputs);
@@ -182,54 +270,91 @@ let monitored ~trace_file ~inputs f =
     Printf.eprintf "FAILED: %d invariant violation(s)\n" (List.length vs);
     `Ok exit_failed
 
-let run_cmd verbose protocol n adversary seed inputs trace_file faults retries_opt =
+let run_cmd verbose protocol n adversary attack fraction no_quarantine seed inputs
+    trace_file faults retries_opt =
   setup_logging verbose;
   match scenario_of_name adversary with
   | Error e -> `Error (false, e)
   | Ok scenario -> (
     match
-      match faults with
+      match attack with
       | None -> Ok None
-      | Some s -> Result.map Option.some (Ks_faults.Plan.of_string s)
+      | Some name -> Result.map Option.some (attack_of_name name)
     with
     | Error e -> `Error (false, e)
-    | Ok plan ->
-      let params = Params.practical n in
-      let rng = Prng.create (Int64.of_int seed) in
-      (match inputs_of_name rng ~n inputs with
-       | Error e -> `Error (false, e)
-       | Ok input_bits ->
-         let seed = Int64.of_int seed in
-         (* Bounded retry defaults on exactly when faults are injected:
-            plain runs stay bit-identical to the pre-fault-layer code. *)
-         let retries =
-           match retries_opt with
-           | Some r -> Stdlib.max 0 r
-           | None -> ( match plan with Some _ -> 2 | None -> 0)
-         in
-         let go () =
-           monitored ~trace_file ~inputs:input_bits (fun () ->
-               match protocol with
-               | "everywhere" ->
-                 run_everywhere ~retries ~params ~scenario ~seed ~inputs:input_bits
-               | "ae" -> run_ae ~retries ~params ~scenario ~seed ~inputs:input_bits
-               | "rabin" ->
-                 run_baseline `Rabin ~params ~scenario ~seed ~inputs:input_bits
-               | "phase-king" ->
-                 run_baseline `Phase_king ~params ~scenario ~seed ~inputs:input_bits
-               | "ben-or" ->
-                 run_baseline `Ben_or ~params ~scenario ~seed ~inputs:input_bits
-               | "async" -> run_async ~n ~scenario ~seed ~inputs:input_bits
-               | other ->
-                 `Error
-                   ( false,
-                     Printf.sprintf
-                       "unknown protocol %S (everywhere|ae|rabin|phase-king|ben-or|async)"
-                       other ))
-         in
-         (match plan with
-          | Some p -> Ks_faults.Plan.with_plan p go
-          | None -> go ())))
+    | Ok (Some _) when fraction < 0. || fraction > 1. ->
+      `Error (false, Printf.sprintf "--corrupt %g is not a fraction in [0,1]" fraction)
+    | Ok atk -> (
+      match
+        match faults with
+        | None -> Ok None
+        | Some s -> Result.map Option.some (Ks_faults.Plan.of_string_or_preset s)
+      with
+      | Error e -> `Error (false, e)
+      | Ok plan ->
+        let params = Params.practical n in
+        let rng = Prng.create (Int64.of_int seed) in
+        (match inputs_of_name rng ~n inputs with
+         | Error e -> `Error (false, e)
+         | Ok input_bits ->
+           let seed = Int64.of_int seed in
+           let quarantine = not no_quarantine in
+           (* Bounded retry defaults on exactly when faults are injected:
+              plain runs stay bit-identical to the pre-fault-layer code. *)
+           let retries =
+             match retries_opt with
+             | Some r -> Stdlib.max 0 r
+             | None -> ( match plan with Some _ -> 2 | None -> 0)
+           in
+           let go () =
+             match atk with
+             | Some atk ->
+               monitored ~envelopes:false ~trace_file ~inputs:input_bits (fun () ->
+                   match protocol with
+                   | "everywhere" ->
+                     run_everywhere_attack ~retries ~quarantine ~params ~atk
+                       ~fraction ~seed ~inputs:input_bits
+                   | "ae" ->
+                     run_ae_attack ~retries ~quarantine ~params ~atk ~fraction
+                       ~seed ~inputs:input_bits
+                   | "rabin" ->
+                     run_rabin_attack ~params ~atk ~fraction ~seed
+                       ~inputs:input_bits
+                   | other ->
+                     `Error
+                       ( false,
+                         Printf.sprintf
+                           "--attack supports everywhere, ae and rabin (got %S)"
+                           other ))
+             | None ->
+               monitored ~trace_file ~inputs:input_bits (fun () ->
+                   match protocol with
+                   | "everywhere" ->
+                     run_everywhere ~retries ~quarantine ~params ~scenario ~seed
+                       ~inputs:input_bits
+                   | "ae" ->
+                     run_ae ~retries ~quarantine ~params ~scenario ~seed
+                       ~inputs:input_bits
+                   | "rabin" ->
+                     run_baseline `Rabin ~params ~scenario ~seed ~inputs:input_bits
+                   | "phase-king" ->
+                     run_baseline `Phase_king ~params ~scenario ~seed
+                       ~inputs:input_bits
+                   | "ben-or" ->
+                     run_baseline `Ben_or ~params ~scenario ~seed
+                       ~inputs:input_bits
+                   | "async" -> run_async ~n ~scenario ~seed ~inputs:input_bits
+                   | other ->
+                     `Error
+                       ( false,
+                         Printf.sprintf
+                           "unknown protocol %S \
+                            (everywhere|ae|rabin|phase-king|ben-or|async)"
+                           other ))
+           in
+           (match plan with
+            | Some p -> Ks_faults.Plan.with_plan p go
+            | None -> go ()))))
 
 let inspect_cmd n theoretical =
   let params = if theoretical then Params.theoretical n else Params.practical n in
@@ -268,6 +393,34 @@ let adversary_arg =
     & info [ "a"; "adversary" ] ~docv:"ADV"
         ~doc:"Adversary: honest, crash, byz-static, byz-adaptive, eclipse or flood.")
 
+let attack_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "attack" ] ~docv:"NAME"
+        ~doc:
+          "Run under an active attack from the attack library (docs/ATTACKS.md); \
+           overrides $(b,--adversary).  Supported protocols: everywhere, ae, \
+           rabin.  See $(b,ba_sim --list-attacks).")
+
+let corrupt_arg =
+  Arg.(
+    value
+    & opt float 0.25
+    & info [ "corrupt" ] ~docv:"FRAC"
+        ~doc:
+          "Corrupted fraction of processors for $(b,--attack) runs.  May \
+           deliberately exceed 1/3; capped at n-1 processors.")
+
+let no_quarantine_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-quarantine" ]
+        ~doc:
+          "Disarm the tree phase's provable-misbehaviour quarantine layer \
+           (armed by default; see docs/ATTACKS.md).")
+
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
 let inputs_arg =
@@ -297,10 +450,11 @@ let faults_arg =
     & opt (some string) None
     & info [ "faults" ] ~docv:"PLAN"
         ~doc:
-          "Benign-fault plan, a comma-separated key=value list (see \
-           docs/FAULTS.md): drop, dup, crash, recover, silence, silence_len, \
-           max_down, seed.  Example: drop=0.1,dup=0.02,crash=0.01,recover=0.3. \
-           Faults never consume the adversary's corruption budget.")
+          "Benign-fault plan: a preset name (see $(b,ba_sim --list-faults)) or \
+           a comma-separated key=value list (see docs/FAULTS.md): drop, dup, \
+           crash, recover, silence, silence_len, max_down, seed.  Example: \
+           drop=0.1,dup=0.02,crash=0.01,recover=0.3.  Faults never consume \
+           the adversary's corruption budget.")
 
 let retries_arg =
   Arg.(
@@ -315,8 +469,9 @@ let retries_arg =
 let run_term =
   Term.(
     ret
-      (const run_cmd $ verbose_arg $ protocol_arg $ n_arg $ adversary_arg $ seed_arg
-     $ inputs_arg $ trace_arg $ faults_arg $ retries_arg))
+      (const run_cmd $ verbose_arg $ protocol_arg $ n_arg $ adversary_arg
+     $ attack_arg $ corrupt_arg $ no_quarantine_arg $ seed_arg $ inputs_arg
+     $ trace_arg $ faults_arg $ retries_arg))
 
 let inspect_term = Term.(ret (const inspect_cmd $ n_arg $ theoretical_arg))
 
@@ -334,6 +489,42 @@ let cmds =
       inspect_term;
   ]
 
+(* Top-level catalog listings ([ba_sim --list-attacks] / [--list-faults]);
+   with neither flag the default term falls back to the group help, so
+   plain [ba_sim] stays informative. *)
+let list_cmd list_attacks list_faults =
+  if list_attacks then begin
+    List.iter
+      (fun a -> Printf.printf "%-18s %s\n" a.Ks_attacks.name a.Ks_attacks.doc)
+      Ks_attacks.all;
+    `Ok 0
+  end
+  else if list_faults then begin
+    List.iter
+      (fun (name, plan, doc) ->
+        Printf.printf "%-8s %s\n%8s   (%s)\n" name doc ""
+          (Ks_faults.Plan.to_string plan))
+      Ks_faults.Plan.presets;
+    `Ok 0
+  end
+  else `Help (`Auto, None)
+
+let list_attacks_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "list-attacks" ]
+        ~doc:"List the attack library's strategies (for $(b,run --attack)) and exit.")
+
+let list_faults_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "list-faults" ]
+        ~doc:"List the named benign-fault presets (for $(b,run --faults)) and exit.")
+
+let default_term = Term.(ret (const list_cmd $ list_attacks_arg $ list_faults_arg))
+
 let () =
   let info =
     Cmd.info "ba_sim" ~version:"1.0.0"
@@ -342,7 +533,7 @@ let () =
   (* [eval_value] instead of [eval]: the run commands' return value is the
      process exit code (0/3/4, documented above), while usage and internal
      errors keep cmdliner's distinct 124/125. *)
-  match Cmd.eval_value (Cmd.group info cmds) with
+  match Cmd.eval_value (Cmd.group ~default:default_term info cmds) with
   | Ok (`Ok code) -> exit code
   | Ok (`Version | `Help) -> exit 0
   | Error (`Parse | `Term) -> exit Cmd.Exit.cli_error

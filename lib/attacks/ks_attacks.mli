@@ -1,0 +1,71 @@
+(** Seeded, replayable active-Byzantine attack strategies.
+
+    Each attack bundles the Comm {!Ks_core.Comm.behavior} policy for the
+    corrupted processors' regular protocol traffic with three bespoke
+    {!Ks_sim.Types.strategy} constructors — one per network the
+    Everywhere stack creates.  All randomness comes from the adversary
+    view's RNG, so runs replay bit-identically from their seed; the
+    library being linked changes nothing about unattacked executions.
+
+    The catalog (docs/ATTACKS.md):
+    - [equivocate] — rushing equivocation: conflicting in-field values per
+      recipient parity, plus duplicate conflicting deals on one channel
+      (the provable kind);
+    - [bad-share-inside] / [bad-share-outside] — off-polynomial share
+      floods targeted just inside / just outside the Berlekamp–Welch
+      radius of each leaf decode;
+    - [hunt-committee] — adaptive corruption of top election-node members
+      and observed responders, driven by the rushing view;
+    - [coin-split] — per-recipient-parity conflicting votes against every
+      election and agreement instance ({!Ks_core.Aeba_coin} biasing);
+    - [wire-junk] — malformed payloads (out-of-field words, wrong lengths,
+      absurd identifiers) at every decode path. *)
+
+type t = {
+  name : string;  (** registry key; [ba_sim --attack NAME] *)
+  doc : string;  (** one-line description ([--list-attacks]) *)
+  behavior : Ks_core.Comm.behavior;
+      (** what corrupted processors do with their regular tree traffic *)
+  tree :
+    params:Ks_core.Params.t ->
+    tree:Ks_topology.Tree.t ->
+    Ks_core.Comm.payload Ks_sim.Types.strategy;
+  a2e :
+    params:Ks_core.Params.t ->
+    carried:int list ->
+    coin:(iteration:int -> int -> int option) ->
+    Ks_core.Ae_to_e.msg Ks_sim.Types.strategy;
+      (** amplification-phase strategy; [carried] are the processors that
+          fell during the tournament (already included) *)
+  vote : params:Ks_core.Params.t -> bool Ks_sim.Types.strategy;
+      (** plain vote nets: Algorithm 5 standalone and the Rabin baseline *)
+}
+
+val all : t list
+val find : string -> t option
+
+(** [budget ~params ~fraction] — ⌊fraction·n⌋ capped at n − 1 but {e not}
+    at the model's (1/3 − ε) allowance: breaking-point sweeps walk past
+    1/3 on purpose. *)
+val budget : params:Ks_core.Params.t -> fraction:float -> int
+
+(** Mirror of the protocol's seed plumbing: [ae_seed_of seed] is the
+    tournament seed {!Ks_core.Everywhere.run} derives from its own, and
+    [protocol_tree ~params ~ae_seed] rebuilds the exact tree
+    {!Ks_core.Ae_ba.run} will build from it — public-sampler knowledge
+    the model grants the adversary.  Pinned against [Comm.tree] in
+    test_attacks. *)
+val ae_seed_of : int64 -> int64
+
+val protocol_tree :
+  params:Ks_core.Params.t -> ae_seed:int64 -> Ks_topology.Tree.t
+
+(** Exposed for tests: the per-leaf Berlekamp–Welch correction radius and
+    the seeded per-leaf target picker the bad-share attacks use. *)
+val leaf_radius : params:Ks_core.Params.t -> tree:Ks_topology.Tree.t -> int
+
+val per_leaf_targets :
+  Ks_stdx.Prng.t -> Ks_topology.Tree.t -> per_node:int -> budget:int -> int list
+
+(** The public candidate-array length (words) a forged [Deal] must match. *)
+val array_len : params:Ks_core.Params.t -> tree:Ks_topology.Tree.t -> int

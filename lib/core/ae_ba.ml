@@ -81,16 +81,29 @@ let unpack_vote packed i =
   else Some (Bytes.get_uint8 packed byte_idx land (1 lsl (i mod 8)) <> 0)
 
 (* What a corrupted member puts on the wire in place of its packed votes
-   (mirrors Comm's word-level behavior policy). *)
+   (mirrors Comm's word-level behavior policy).  [Equivocate] is
+   destination-dependent and handled per-recipient at the call sites via
+   [equivocate_packed]; here it degrades to [Follow] so the helper stays
+   total.  The other behaviors are destination-independent and evaluated
+   once per member, so [Garbage]'s RNG draw count is unchanged. *)
 let corrupt_packed behavior rng packed =
   match behavior with
-  | Comm.Follow -> Some packed
+  | Comm.Follow | Comm.Equivocate -> Some packed
   | Comm.Silent -> None
   | Comm.Garbage ->
     Some (Bytes.init (Bytes.length packed) (fun _ -> Char.chr (Prng.int rng 256)))
   | Comm.Flip ->
     Some (Bytes.init (Bytes.length packed) (fun i ->
         Char.chr (lnot (Char.code (Bytes.get packed i)) land 0xFF)))
+
+(* Rushing equivocation on a ballot: even-numbered recipients get the
+   honest ballot, odd-numbered ones get it with every vote inverted —
+   conflicting ballots inside one round, no randomness consumed. *)
+let equivocate_packed ~dst packed =
+  if dst land 1 = 0 then packed
+  else
+    Bytes.init (Bytes.length packed) (fun i ->
+        Char.chr (lnot (Char.code (Bytes.get packed i)) land 0xFF))
 
 (* One round of batched vote exchange for a set of per-node ballots.
    [ballots level node] returns (members, graph, votes-matrix) — votes are
@@ -118,9 +131,18 @@ let vote_round comm ~behavior ~adv_rng ~level ~nodes ~members_of ~graph_of
               (Graph.neighbours graph mp)
           in
           if Ks_sim.Net.is_corrupt (Comm.net comm) p then begin
-            match corrupt_packed behavior adv_rng packed with
-            | Some pk -> send pk
-            | None -> ()
+            match behavior with
+            | Comm.Equivocate ->
+              Array.iter
+                (fun np ->
+                  let dst = members.(np) in
+                  Comm.queue_adversarial comm
+                    [ { src = p; dst; payload = payload (equivocate_packed ~dst packed) } ])
+                (Graph.neighbours graph mp)
+            | _ -> (
+              match corrupt_packed behavior adv_rng packed with
+              | Some pk -> send pk
+              | None -> ())
           end
           else send packed)
         members)
@@ -148,7 +170,9 @@ let vote_round comm ~behavior ~adv_rng ~level ~nodes ~members_of ~graph_of
             (fun e ->
               match e.payload with
               | Comm.Votes { level = ml; node = mn; packed }
-                when ml = level && mn = node && not (Hashtbl.mem seen e.src) -> begin
+                when ml = level && mn = node && not (Hashtbl.mem seen e.src)
+                     && not (Comm.is_quarantined comm ~accuser:p ~offender:e.src)
+                -> begin
                   (* Count only graph neighbours, once each. *)
                   match Tree.position_of (Comm.tree comm) ~level ~node e.src with
                   | Some sp when Graph.adjacent graph mp sp ->
@@ -168,7 +192,8 @@ let vote_round comm ~behavior ~adv_rng ~level ~nodes ~members_of ~graph_of
     nodes;
   tallies
 
-let run ?(retries = 0) ~params ~seed ~inputs ~behavior ~strategy ?budget () =
+let run ?(retries = 0) ?quarantine ~params ~seed ~inputs ~behavior ~strategy ?budget
+    () =
   let (_ : Params.t) = Params.validate params in
   let n = params.Params.n in
   if Array.length inputs <> n then invalid_arg "Ae_ba.run: inputs length";
@@ -176,8 +201,8 @@ let run ?(retries = 0) ~params ~seed ~inputs ~behavior ~strategy ?budget () =
   let tree_rng = Prng.split root in
   let tree = Tree.build tree_rng (Params.tree_config params) in
   let comm =
-    Comm.create ~retries ~params ~tree ~seed:(Prng.bits64 root) ~behavior ~strategy
-      ?budget ()
+    Comm.create ~retries ?quarantine ~params ~tree ~seed:(Prng.bits64 root) ~behavior
+      ~strategy ?budget ()
   in
   (* Detected quorum shortfalls: (good member, vote round) pairs in which
      the member heard no votes at all — its tally carries no information
@@ -433,6 +458,18 @@ let run ?(retries = 0) ~params ~seed ~inputs ~behavior ~strategy ?budget () =
         | Comm.Silent -> ()
         | Comm.Garbage -> send (Prng.bool adv_rng)
         | Comm.Flip -> send (not votes.(p))
+        | Comm.Equivocate ->
+          (* Conflicting root votes: the honest vote to even neighbours,
+             its negation to odd ones. *)
+          Array.iter
+            (fun np ->
+              Comm.queue_adversarial comm
+                [ { src = p; dst = np;
+                    payload =
+                      Comm.Vote
+                        { level = levels; node = 0; ba = 0;
+                          vote = (if np land 1 = 0 then votes.(p) else not votes.(p)) } } ])
+            (Graph.neighbours root_graph p)
       end
       else send votes.(p)
     done;
@@ -447,7 +484,8 @@ let run ?(retries = 0) ~params ~seed ~inputs ~behavior ~strategy ?budget () =
             match e.payload with
             | Comm.Vote { level = ml; vote; _ }
               when ml = levels && not (Hashtbl.mem seen e.src)
-                   && Graph.adjacent root_graph p e.src ->
+                   && Graph.adjacent root_graph p e.src
+                   && not (Comm.is_quarantined comm ~accuser:p ~offender:e.src) ->
               Hashtbl.add seen e.src ();
               incr total;
               if vote then incr ones

@@ -69,9 +69,12 @@ type result = {
     [strategy] decides who gets corrupted and when; [behavior] what
     corrupted processors do inside the tree protocol.  [?retries]
     (default 0) is the per-decode re-request budget passed to
-    {!Comm.create} for graceful degradation under benign faults. *)
+    {!Comm.create} for graceful degradation under benign faults;
+    [?quarantine] (default true) arms {!Comm}'s provable-misbehaviour
+    quarantine list. *)
 val run :
   ?retries:int ->
+  ?quarantine:bool ->
   params:Params.t ->
   seed:int64 ->
   inputs:bool array ->

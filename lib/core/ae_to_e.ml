@@ -20,20 +20,13 @@ let encode_msg m =
   W.contents w
 
 let decode_msg data =
-  match
-    let r = R.of_bytes data in
-    let m =
+  Ks_stdx.Wire.decode data (fun r ->
       match R.byte r with
       | 0 -> Request (R.varint r)
       | 1 ->
         let label = R.varint r in
         Reply { label; value = R.u32 r }
-      | _ -> raise R.Truncated
-    in
-    if R.at_end r then Some m else None
-  with
-  | result -> result
-  | exception R.Truncated -> None
+      | tag -> R.fail (Ks_stdx.Wire.Bad_tag tag))
 
 let varint_len v =
   let rec go v acc = if v < 0x80 then acc else go (v lsr 7) (acc + 1) in

@@ -30,7 +30,7 @@ type msg = Request of int | Reply of { label : int; value : int }
     size in bits. *)
 
 val encode_msg : msg -> Bytes.t
-val decode_msg : Bytes.t -> msg option
+val decode_msg : Bytes.t -> (msg, Ks_stdx.Wire.invalid) result
 val msg_bits : msg -> int
 
 type config = {

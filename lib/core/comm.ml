@@ -6,7 +6,7 @@ open Ks_sim.Types
 
 type word = int
 
-type behavior = Follow | Silent | Garbage | Flip
+type behavior = Follow | Silent | Garbage | Flip | Equivocate
 
 type payload =
   | Deal of { cand : int; inst : int; words : word array }
@@ -61,6 +61,11 @@ let write_words w words =
 
 let read_words r =
   let len = R.varint r in
+  (* Each word is a fixed u32: a length claiming more words than the
+     remaining bytes could hold is malformed.  Checking before the
+     allocation keeps a forged length prefix from forcing a huge
+     [Array.init] (found by the decoder fuzzer). *)
+  if len < 0 || len > R.remaining r / 4 then raise R.Truncated;
   Array.init len (fun _ -> R.u32 r)
 
 let encode_payload payload =
@@ -86,9 +91,7 @@ let encode_payload payload =
   W.contents w
 
 let decode_payload data =
-  match
-    let r = R.of_bytes data in
-    let payload =
+  Ks_stdx.Wire.decode data (fun r ->
       match R.byte r with
       | 0 ->
         let cand = R.varint r in
@@ -125,12 +128,7 @@ let decode_payload data =
         let level = R.varint r in
         let node = R.varint r in
         Votes { level; node; packed = R.bytes r }
-      | _ -> raise R.Truncated
-    in
-    if R.at_end r then Some payload else None
-  with
-  | result -> result
-  | exception R.Truncated -> None
+      | tag -> R.fail (Ks_stdx.Wire.Bad_tag tag))
 
 let payload_bits (p : Params.t) payload =
   p.Params.header_bits + (8 * encoded_length payload)
@@ -217,9 +215,20 @@ type t = {
   max_retries : int;
   mutable decode_failures : int;
   mutable retries_used : int;
+  (* Quarantine: per-accuser set of senders caught provably misbehaving
+     (share word outside Z_p, wrong public length, equivocation witnessed
+     on a private channel).  A quarantined sender's messages are ignored
+     by that accuser from the moment of the accusation.  Honest and
+     behavior-policy traffic never produces evidence (Garbage and Flip
+     stay in-field and length-preserving), so enabling quarantine leaves
+     unattacked runs byte-identical. *)
+  quarantine_on : bool;
+  quarantined : (int, unit) Hashtbl.t array;
+  mutable quarantine_events : int;
 }
 
-let create ?(retries = 0) ~params ~tree ~seed ~behavior ~strategy ?budget () =
+let create ?(retries = 0) ?(quarantine = true) ~params ~tree ~seed ~behavior
+    ~strategy ?budget () =
   let pending = ref [] in
   let wrapped =
     {
@@ -250,11 +259,18 @@ let create ?(retries = 0) ~params ~tree ~seed ~behavior ~strategy ?budget () =
     max_retries = retries;
     decode_failures = 0;
     retries_used = 0;
+    quarantine_on = quarantine;
+    quarantined = Array.init params.Params.n (fun _ -> Hashtbl.create 4);
+    quarantine_events = 0;
   }
 
 let net t = t.net
 let decode_failures t = t.decode_failures
 let retries_used t = t.retries_used
+let quarantine_events t = t.quarantine_events
+
+let is_quarantined t ~accuser ~offender =
+  t.quarantine_on && Hashtbl.mem t.quarantined.(accuser) offender
 let tree t = t.tree
 let structure t = t.structure
 let params t = t.params
@@ -275,25 +291,96 @@ let node_of t ~cand ~level = Tree.leaf_ancestor t.tree ~leaf:cand ~level
 
 let is_corrupt t p = Ks_sim.Net.is_corrupt t.net p
 
-(* What a corrupted holder puts on the wire in place of [words]. *)
-let corrupt_words t words =
+(* What a corrupted holder puts on the wire in place of [words].  Only
+   [Equivocate] looks at the destination: it tells a different (but
+   internally consistent and in-field) lie to each parity class, the
+   rushing-equivocation primitive.  The other behaviors ignore [dst] and
+   in particular [Garbage] draws exactly once per routed message, so
+   adding [Equivocate] changed no existing RNG stream. *)
+let corrupt_words t ~dst words =
   match t.behavior with
   | Follow -> Some (Array.copy words)
   | Silent -> None
   | Garbage -> Some (Array.map (fun _ -> Zp.random t.garbage_rng) words)
   | Flip -> Some (Array.map (fun w -> Zp.add w Zp.one) words)
+  | Equivocate ->
+    let delta = if dst land 1 = 0 then Zp.one else Zp.add Zp.one Zp.one in
+    Some (Array.map (fun w -> Zp.add w delta) words)
 
 (* Route a message: direct for good senders, via the adversary queue for
    corrupted ones (with the behavior policy applied to the payload). *)
 let route t ~src ~dst ~(payload_of : word array -> payload) words good_acc =
   if is_corrupt t src then begin
-    match corrupt_words t words with
+    match corrupt_words t ~dst words with
     | None -> good_acc
     | Some w ->
       queue_adversarial t [ { src; dst; payload = payload_of w } ];
       good_acc
   end
   else { src; dst; payload = payload_of (Array.copy words) } :: good_acc
+
+(* --- Hardened acceptance ------------------------------------------------
+
+   [admit] is the single gate every share-carrying payload passes before
+   a handler may use it, called only after the handler's route-legitimacy
+   checks (right identifier ranges, right sender for the slot, right
+   recipient) have succeeded — so a failure here is *provable*
+   misbehaviour by the sender, not a routing accident, and earns it a
+   place on the accuser's quarantine list:
+
+   - ["wrong_length"]: the word count differs from the publicly known
+     vector length for the slot;
+   - ["out_of_field"]: a word is not a canonical Z_p representative;
+   - ["equivocation"]: a second, conflicting value for the same slot from
+     the same sender on the accuser's private channel ([witness] holds
+     the first value per (accuser, sender, slot); duplicated deliveries
+     of the identical value — benign [dup] faults, retry resends — do
+     not conflict).
+
+   With quarantine off the gate degrades to exactly the pre-hardening
+   length check: no evidence, no events, no rejections beyond length. *)
+
+let words_equal a b =
+  Array.length a = Array.length b
+  &&
+  (let ok = ref true in
+   Array.iteri (fun i w -> if b.(i) <> w then ok := false) a;
+   !ok)
+
+let accuse t ~accuser ~offender ~evidence ~info =
+  (* A processor never quarantines itself: a corrupt sender that is also
+     the collector would otherwise record a meaningless self-conviction
+     (the malformed message is still rejected by [admit]). *)
+  if accuser <> offender && not (Hashtbl.mem t.quarantined.(accuser) offender)
+  then begin
+    Hashtbl.replace t.quarantined.(accuser) offender ();
+    t.quarantine_events <- t.quarantine_events + 1;
+    Ks_sim.Net.quarantine t.net ~accuser ~offender ~evidence ~info
+  end
+
+let admit t ~witness ~accuser ~src ~key ~slot ~expected_len words =
+  if not t.quarantine_on then Array.length words = expected_len
+  else if Hashtbl.mem t.quarantined.(accuser) src then false
+  else if Array.length words <> expected_len then begin
+    accuse t ~accuser ~offender:src ~evidence:"wrong_length"
+      ~info:(Array.length words);
+    false
+  end
+  else
+    match Array.find_opt (fun w -> w < 0 || w >= Zp.p) words with
+    | Some w ->
+      accuse t ~accuser ~offender:src ~evidence:"out_of_field" ~info:w;
+      false
+    | None -> (
+      let wkey = (accuser, src, key) in
+      match Hashtbl.find_opt witness wkey with
+      | Some prev when not (words_equal prev words) ->
+        accuse t ~accuser ~offender:src ~evidence:"equivocation" ~info:slot;
+        false
+      | Some _ -> true
+      | None ->
+        Hashtbl.add witness wkey (Array.copy words);
+        true)
 
 let word_majority vectors =
   match vectors with
@@ -348,6 +435,7 @@ let deal_all t ~arrays =
       st.live_level <- 1;
       st.held <- Array.make k1 None)
     t.cands;
+  let witness = Hashtbl.create 64 in
   Array.iteri
     (fun p inbox ->
       List.iter
@@ -356,10 +444,12 @@ let deal_all t ~arrays =
           | Deal { cand; inst; words }
             when cand >= 0 && cand < n && inst >= 0 && inst < k1
                  && e.src = cand
-                 && Array.length words = t.vec_len.(cand)
-                 && (Tree.members t.tree ~level:1 ~node:cand).(inst) = p
-                 && t.cands.(cand).held.(inst) = None ->
-            t.cands.(cand).held.(inst) <- Some words
+                 && (Tree.members t.tree ~level:1 ~node:cand).(inst) = p ->
+            if
+              admit t ~witness ~accuser:p ~src:e.src ~key:(cand, inst) ~slot:inst
+                ~expected_len:t.vec_len.(cand) words
+              && t.cands.(cand).held.(inst) = None
+            then t.cands.(cand).held.(inst) <- Some words
           | _ -> ())
         inbox)
     inboxes
@@ -414,31 +504,34 @@ let reshare_up t ~cands ~drop =
     let inboxes = exchange t !msgs in
     let fresh = Hashtbl.create 64 in
     List.iter (fun c -> Hashtbl.replace fresh c (Array.make count_next None)) cands;
+    let witness = Hashtbl.create 64 in
     Array.iteri
       (fun p inbox ->
         List.iter
           (fun e ->
             match e.payload with
             | Share_up { cand; inst; words }
-              when Hashtbl.mem cand_set cand && inst >= 0 && inst < count_next
-                   && Array.length words = t.vec_len.(cand) ->
+              when Hashtbl.mem cand_set cand && inst >= 0 && inst < count_next ->
               let held = Hashtbl.find fresh cand in
-              if held.(inst) = None then begin
-                let ppos = Structure.pos t.structure ~level:next ~inst in
-                let parent_inst = Structure.parent t.structure ~level:next ~inst in
-                let cur_node = node_of t ~cand ~level:lvl in
-                let parent_node = node_of t ~cand ~level:next in
-                let expected_dst =
-                  (Tree.members t.tree ~level:next ~node:parent_node).(ppos)
-                in
-                let expected_src =
-                  (Tree.members t.tree ~level:lvl ~node:cur_node).(Structure.pos
-                                                                     t.structure
-                                                                     ~level:lvl
-                                                                     ~inst:parent_inst)
-                in
-                if expected_dst = p && expected_src = e.src then held.(inst) <- Some words
-              end
+              let ppos = Structure.pos t.structure ~level:next ~inst in
+              let parent_inst = Structure.parent t.structure ~level:next ~inst in
+              let cur_node = node_of t ~cand ~level:lvl in
+              let parent_node = node_of t ~cand ~level:next in
+              let expected_dst =
+                (Tree.members t.tree ~level:next ~node:parent_node).(ppos)
+              in
+              let expected_src =
+                (Tree.members t.tree ~level:lvl ~node:cur_node).(Structure.pos
+                                                                   t.structure
+                                                                   ~level:lvl
+                                                                   ~inst:parent_inst)
+              in
+              if
+                expected_dst = p && expected_src = e.src
+                && admit t ~witness ~accuser:p ~src:e.src ~key:(cand, inst)
+                     ~slot:inst ~expected_len:t.vec_len.(cand) words
+                && held.(inst) = None
+              then held.(inst) <- Some words
             | _ -> ())
           inbox)
       inboxes;
@@ -525,6 +618,7 @@ let open_ranges_view t ~level ~ranges =
       !cur;
     (* Collect pieces per (cand, child node, parent instance). *)
     let pieces = Hashtbl.create 1024 in
+    let witness = Hashtbl.create 1024 in
     let collect inboxes =
       Array.iteri
         (fun p inbox ->
@@ -536,7 +630,6 @@ let open_ranges_view t ~level ~ranges =
               let eoff, elen = Hashtbl.find range_tbl cand in
               if
                 off = eoff
-                && Array.length words = elen
                 && inst >= 0
                 && inst < Structure.count t.structure ~level:l
                 && ch >= 0
@@ -553,7 +646,11 @@ let open_ranges_view t ~level ~ranges =
                                                                 t.structure ~level:l
                                                                 ~inst) = e.src
                 in
-                if dst_ok && src_ok then begin
+                if
+                  dst_ok && src_ok
+                  && admit t ~witness ~accuser:p ~src:e.src ~key:(cand, ch, inst)
+                       ~slot:inst ~expected_len:elen words
+                then begin
                   let key = (cand, ch, pinst) in
                   let x = Structure.pos t.structure ~level:l ~inst in
                   let existing =
@@ -608,6 +705,7 @@ let open_ranges_view t ~level ~ranges =
     (fun (c, leaf, inst) words ->
       Hashtbl.replace pieces (c, leaf, inst) [ (inst, words) ])
     !cur;
+  let witness = Hashtbl.create 1024 in
   let collect inboxes =
     Array.iteri
       (fun p inbox ->
@@ -618,17 +716,22 @@ let open_ranges_view t ~level ~ranges =
             when Hashtbl.mem range_tbl cand && inst >= 0 && inst < k1
                  && leaf >= 0 && leaf < Tree.node_count t.tree ~level:1 ->
             let eoff, elen = Hashtbl.find range_tbl cand in
-            if off = eoff && Array.length words = elen then begin
+            if off = eoff then begin
               let members = Tree.members t.tree ~level:1 ~node:leaf in
               if members.(inst) = e.src then begin
                 match Tree.position_of t.tree ~level:1 ~node:leaf p with
                 | Some mp ->
-                  let key = (cand, leaf, mp) in
-                  let existing =
-                    Option.value ~default:[] (Hashtbl.find_opt pieces key)
-                  in
-                  if not (List.mem_assoc inst existing) then
-                    Hashtbl.replace pieces key ((inst, words) :: existing)
+                  if
+                    admit t ~witness ~accuser:p ~src:e.src ~key:(cand, leaf, inst)
+                      ~slot:inst ~expected_len:elen words
+                  then begin
+                    let key = (cand, leaf, mp) in
+                    let existing =
+                      Option.value ~default:[] (Hashtbl.find_opt pieces key)
+                    in
+                    if not (List.mem_assoc inst existing) then
+                      Hashtbl.replace pieces key ((inst, words) :: existing)
+                  end
                 | None -> ()
               end
             end
@@ -671,6 +774,7 @@ let open_ranges_view t ~level ~ranges =
   let inboxes = exchange t !msgs in
   (* reports : (cand, election member position, leaf) -> word vectors *)
   let reports = Hashtbl.create 4096 in
+  let witness = Hashtbl.create 4096 in
   Array.iteri
     (fun p inbox ->
       List.iter
@@ -680,18 +784,23 @@ let open_ranges_view t ~level ~ranges =
             when Hashtbl.mem range_tbl cand && leaf >= 0
                  && leaf < Tree.node_count t.tree ~level:1 ->
             let eoff, elen = Hashtbl.find range_tbl cand in
-            if off = eoff && Array.length words = elen then begin
+            if off = eoff then begin
               let enode = node_of t ~cand ~level in
               match Tree.position_of t.tree ~level ~node:enode p with
               | Some em
                 when Array.exists (fun l -> l = leaf)
                        (Tree.ell_links t.tree ~level ~node:enode ~member:em)
                      && Tree.position_of t.tree ~level:1 ~node:leaf e.src <> None ->
-                let key = (cand, em, leaf) in
-                let existing =
-                  Option.value ~default:[] (Hashtbl.find_opt reports key)
-                in
-                Hashtbl.replace reports key (words :: existing)
+                if
+                  admit t ~witness ~accuser:p ~src:e.src ~key:(cand, leaf)
+                    ~slot:leaf ~expected_len:elen words
+                then begin
+                  let key = (cand, em, leaf) in
+                  let existing =
+                    Option.value ~default:[] (Hashtbl.find_opt reports key)
+                  in
+                  Hashtbl.replace reports key (words :: existing)
+                end
               | Some _ | None -> ()
             end
           | _ -> ())

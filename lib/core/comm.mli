@@ -26,6 +26,10 @@ type behavior =
   | Silent  (** withhold every message (crash) *)
   | Garbage  (** replace every word by a fresh uniform one *)
   | Flip  (** add one to every word (consistent equivocation) *)
+  | Equivocate
+      (** rushing equivocation: a different in-field lie per recipient
+          parity class, so different recipients of the "same" share see
+          conflicting values within the round *)
 
 type payload =
   | Deal of { cand : int; inst : int; words : word array }
@@ -50,7 +54,11 @@ type payload =
     [header_bits + 8 × encoded_length]. *)
 
 val encode_payload : payload -> Bytes.t
-val decode_payload : Bytes.t -> payload option
+
+(** [decode_payload data] — typed rejection of malformed input: unknown
+    tags, truncation and trailing bytes come back as
+    [Error (_ : Ks_stdx.Wire.invalid)], never as an exception. *)
+val decode_payload : Bytes.t -> (payload, Ks_stdx.Wire.invalid) result
 
 (** [encoded_length p] — bytes [encode_payload] produces, computed
     without allocating. *)
@@ -96,9 +104,19 @@ type t
     (docs/FAULTS.md) get fresh delivery draws — before the failure is
     accepted and counted.  With [retries = 0] the protocol behaves
     bit-identically to the pre-degradation code (failures are merely
-    counted where they were silently dropped). *)
+    counted where they were silently dropped).
+
+    [?quarantine] (default true) arms the per-processor quarantine list:
+    a sender caught provably misbehaving — share word outside Z_p, wrong
+    public length, or equivocation witnessed on a private channel — is
+    recorded as a [Quarantine] monitor event and ignored by the accusing
+    processor from then on.  Honest and behavior-policy traffic never
+    produces evidence, so the default leaves unattacked runs
+    byte-identical; disable it to measure undefended breaking points
+    (table T17). *)
 val create :
   ?retries:int ->
+  ?quarantine:bool ->
   params:Params.t ->
   tree:Ks_topology.Tree.t ->
   seed:int64 ->
@@ -116,6 +134,16 @@ val net : t -> payload Ks_sim.Net.t
 val decode_failures : t -> int
 
 val retries_used : t -> int
+
+(** Quarantine accusations recorded so far (an (accuser, offender) pair
+    counts once).  Stays 0 in unattacked runs. *)
+val quarantine_events : t -> int
+
+(** [is_quarantined t ~accuser ~offender] — has [accuser] recorded proof
+    of misbehaviour by [offender]?  Always false with quarantine
+    disabled.  Vote handlers use this to drop quarantined senders'
+    ballots too. *)
+val is_quarantined : t -> accuser:int -> offender:int -> bool
 
 val tree : t -> Ks_topology.Tree.t
 val structure : t -> Structure.t

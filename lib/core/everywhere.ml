@@ -29,8 +29,8 @@ let carry_corruptions base ~carried =
       (fun rng ~n ~budget -> carried @ base.initial_corruptions rng ~n ~budget);
   }
 
-let run ?(retries = 0) ~params ~seed ~inputs ~behavior ~tree_strategy ~a2e_strategy
-    ?budget () =
+let run ?(retries = 0) ?quarantine ~params ~seed ~inputs ~behavior ~tree_strategy
+    ~a2e_strategy ?budget () =
   let root = Prng.create seed in
   let ae_seed = Prng.bits64 root in
   let a2e_seed = Prng.bits64 root in
@@ -38,8 +38,8 @@ let run ?(retries = 0) ~params ~seed ~inputs ~behavior ~tree_strategy ~a2e_strat
    | Some h -> Ks_monitor.Hub.phase h "tournament"
    | None -> ());
   let ae =
-    Ae_ba.run ~retries ~params ~seed:ae_seed ~inputs ~behavior ~strategy:tree_strategy
-      ?budget ()
+    Ae_ba.run ~retries ?quarantine ~params ~seed:ae_seed ~inputs ~behavior
+      ~strategy:tree_strategy ?budget ()
   in
   let ae_net = Comm.net ae.Ae_ba.comm in
   let carried =

@@ -40,9 +40,12 @@ type result = {
     {!carry_corruptions}) and the §3.5 coin view, through which a
     flooding adversary learns each iteration's label exactly when its
     corrupted knowledgeable processors do.  [?retries] (default 0) is
-    the tree phase's per-decode re-request budget ({!Comm.create}). *)
+    the tree phase's per-decode re-request budget ({!Comm.create});
+    [?quarantine] (default true) arms the tree phase's
+    provable-misbehaviour quarantine list. *)
 val run :
   ?retries:int ->
+  ?quarantine:bool ->
   params:Params.t ->
   seed:int64 ->
   inputs:bool array ->

@@ -84,6 +84,29 @@ let of_string s =
   in
   List.fold_left step (Ok none) fields
 
+(* Named presets for the CLI ([ba_sim --faults NAME], --list-faults).
+   The first three mirror the T16 sweep rows so a table cell can be
+   reproduced from the command line verbatim. *)
+let presets =
+  let plan s = match of_string s with Ok p -> p | Error e -> invalid_arg e in
+  [
+    ("lossy", plan "seed=21,drop=0.02", "2% omission on every delivery");
+    ( "choppy",
+      plan "seed=22,drop=0.05,dup=0.02",
+      "5% omission plus 2% duplication" );
+    ( "churn",
+      plan "seed=23,crash=0.02,recover=0.25,max_down=8",
+      "2%/round crashes, 25%/round recovery, at most 8 down" );
+    ( "flaky",
+      plan "seed=24,silence=0.05,silence_len=3",
+      "5%/round chance of a 3-round silence window per processor" );
+  ]
+
+let of_string_or_preset s =
+  match List.find_opt (fun (name, _, _) -> String.equal name s) presets with
+  | Some (_, p, _) -> Ok p
+  | None -> of_string s
+
 (* Ambient plan, mirroring Ks_monitor.Hub: [Net.create] and
    [Async_net.create] default their [?faults] argument to the ambient
    plan, so a single [with_plan] around a run covers every net the run

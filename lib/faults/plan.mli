@@ -35,6 +35,13 @@ val to_string : t -> string
     keys keep their {!none} defaults; the empty string is {!none}. *)
 val of_string : string -> (t, string) result
 
+(** Named plans for the CLI: [(name, plan, one-line description)].
+    The first three reproduce the T16 sweep rows. *)
+val presets : (string * t * string) list
+
+(** Resolve a {!presets} name, falling back to {!of_string}. *)
+val of_string_or_preset : string -> (t, string) result
+
 (** [with_plan t f] runs [f] with [t] installed as the ambient plan;
     nets created inside pick it up by default.  Restores the previous
     ambient plan on exit (exceptions included). *)

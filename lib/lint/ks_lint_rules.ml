@@ -47,7 +47,8 @@ let in_dirs path dirs =
   let path = "/" ^ normalize path in
   List.exists (fun d -> contains path ("/" ^ d ^ "/")) dirs
 
-let protocol_dirs = [ "lib/core"; "lib/sim"; "lib/topology"; "lib/async" ]
+let protocol_dirs =
+  [ "lib/core"; "lib/sim"; "lib/topology"; "lib/async"; "lib/attacks" ]
 
 (* async_net.ml and net.ml ARE the channel-and-metering layer R4 protects;
    everything else in the protocol tree must go through them. *)

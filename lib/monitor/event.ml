@@ -22,6 +22,14 @@ type t =
     }
   | Run_end of { net : int; rounds : int; total_bits : int }
   | Fault of { net : int; round : int; kind : string; proc : int; dst : int; info : int }
+  | Quarantine of {
+      net : int;
+      round : int;
+      accuser : int;
+      offender : int;
+      evidence : string;
+      info : int;
+    }
   | Violation of {
       invariant : string;
       net : int;
@@ -80,6 +88,10 @@ let to_json = function
     Printf.sprintf
       {|{"ev":"fault","net":%d,"round":%d,"kind":"%s","proc":%d,"dst":%d,"info":%d}|}
       net round (escape kind) proc dst info
+  | Quarantine { net; round; accuser; offender; evidence; info } ->
+    Printf.sprintf
+      {|{"ev":"quarantine","net":%d,"round":%d,"accuser":%d,"offender":%d,"evidence":"%s","info":%d}|}
+      net round accuser offender (escape evidence) info
   | Violation { invariant; net; proc; round; observed; bound; detail } ->
     Printf.sprintf
       {|{"ev":"violation","invariant":"%s","net":%d,"proc":%d,"round":%d,"observed":%.17g,"bound":%.17g,"detail":"%s"}|}
@@ -253,6 +265,12 @@ let of_json line =
            (Fault
               { net = int "net"; round = int "round"; kind = str "kind";
                 proc = int "proc"; dst = int "dst"; info = int "info" })
+       | Some (S "quarantine") ->
+         Some
+           (Quarantine
+              { net = int "net"; round = int "round"; accuser = int "accuser";
+                offender = int "offender"; evidence = str "evidence";
+                info = int "info" })
        | Some (S "violation") ->
          Some
            (Violation

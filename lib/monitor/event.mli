@@ -18,8 +18,10 @@ type t =
           ("tree", "a2e", "rabin", ...) *)
   | Round_start of { net : int; round : int }
   | Send of { net : int; round : int; src : int; dst : int; bits : int; adv : bool }
-      (** one delivered message; [adv] marks adversarial (unmetered)
-          traffic from corrupted processors *)
+      (** one delivered message; [adv] marks adversarial traffic injected
+          by the strategy's [act] on behalf of corrupted processors
+          (metered against the corrupted sender, but excluded from
+          good-processor bit budgets) *)
   | Corrupt of { net : int; round : int; proc : int; total : int; budget : int }
       (** [proc] fell; [total] corruptions so far against [budget] *)
   | Phase of { name : string }  (** protocol-phase transition marker *)
@@ -51,6 +53,21 @@ type t =
           ["silence"]; [dst] is -1 for processor-state faults
           (crash/recover/silence); [info] carries the dropped or
           duplicated message's bits, or the silence-window length *)
+  | Quarantine of {
+      net : int;
+      round : int;
+      accuser : int;
+      offender : int;
+      evidence : string;
+      info : int;
+    }
+      (** [accuser] recorded proof of misbehaviour by [offender] and
+          stopped accepting its messages: [evidence] is one of
+          ["out_of_field"] (share word outside Z_p), ["wrong_length"]
+          (payload length differs from the publicly known size) or
+          ["equivocation"] (two conflicting values for the same slot on
+          a private channel); [info] carries the offending word, length
+          or instance (docs/ATTACKS.md) *)
   | Violation of {
       invariant : string;
       net : int;

@@ -121,6 +121,11 @@ let corrupt_now t procs = apply_corruptions t procs
 
 let decide t p value = emit t (Ks_monitor.Event.Decide { net = t.net_id; proc = p; value })
 
+let quarantine t ~accuser ~offender ~evidence ~info =
+  emit t
+    (Ks_monitor.Event.Quarantine
+       { net = t.net_id; round = t.round; accuser; offender; evidence; info })
+
 let emit_meter t =
   match t.hub with
   | None -> ()
@@ -181,9 +186,15 @@ let exchange t outgoing =
   (* Messages from freshly corrupted processors are reclaimed. *)
   let good_outgoing = List.filter (fun e -> not t.corrupt.(e.src)) good_outgoing in
   (* Rushing: the adversary reads traffic addressed to its processors and
-     only now decides what the corrupted processors send. *)
+     only now decides what the corrupted processors send.  The model is
+     enforced here: only corrupted, in-range senders may inject, and the
+     src bound is checked before the corruption lookup so a strategy
+     returning a wild src is dropped rather than crashing the engine. *)
   let adversarial =
-    List.filter (fun e -> t.corrupt.(e.src) && e.dst >= 0 && e.dst < t.size)
+    List.filter
+      (fun e ->
+        e.src >= 0 && e.src < t.size && t.corrupt.(e.src) && e.dst >= 0
+        && e.dst < t.size)
       (t.strategy.act (make_view t good_outgoing))
   in
   (* A crashed machine cannot transmit even under adversarial control
@@ -242,6 +253,9 @@ let exchange t outgoing =
       let bits = t.msg_bits e.payload in
       incr adv_count;
       adv_bits := !adv_bits + bits;
+      (* Corrupted senders pay for their traffic like everyone else —
+         leaving adversarial sends unmetered undercounts total bits. *)
+      Meter.charge_send t.meter e.src ~bits;
       emit t
         (Ks_monitor.Event.Send
            { net = t.net_id; round = t.round; src = e.src; dst = e.dst; bits; adv = true });

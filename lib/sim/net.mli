@@ -104,6 +104,14 @@ val attach_hub : 'msg t -> Ks_monitor.Hub.t -> unit
     this once per good processor). *)
 val decide : 'msg t -> Types.proc -> int -> unit
 
+(** [quarantine t ~accuser ~offender ~evidence ~info] — record that
+    [accuser] holds proof of misbehaviour by [offender] and will ignore
+    it from now on.  [evidence] is one of ["out_of_field"],
+    ["wrong_length"], ["equivocation"]; [info] carries the offending
+    word, length or instance (see docs/ATTACKS.md). *)
+val quarantine :
+  'msg t -> accuser:Types.proc -> offender:Types.proc -> evidence:string -> info:int -> unit
+
 (** [emit_meter t] — emit a [Meter_proc] snapshot for every processor
     plus a [Run_end]; call at the end of a protocol run.  Re-emission is
     fine: replay readers take the last snapshot per processor. *)

@@ -36,10 +36,26 @@ module Writer = struct
   let length t = Buffer.length t
 end
 
+type invalid =
+  | Truncated
+  | Trailing of int
+  | Bad_tag of int
+  | Out_of_range of { what : string; value : int; bound : int }
+
+let invalid_to_string = function
+  | Truncated -> "truncated input"
+  | Trailing k -> Printf.sprintf "%d trailing byte(s) after a complete value" k
+  | Bad_tag tag -> Printf.sprintf "unknown tag %d" tag
+  | Out_of_range { what; value; bound } ->
+    Printf.sprintf "%s = %d out of range [0, %d)" what value bound
+
 module Reader = struct
   type t = { data : Bytes.t; mutable pos : int }
 
   exception Truncated
+  exception Invalid of invalid
+
+  let fail inv = raise (Invalid inv)
 
   let of_bytes data = { data; pos = 0 }
 
@@ -84,7 +100,33 @@ module Reader = struct
     Array.init len (fun _ -> varint t)
 
   let at_end t = t.pos = Bytes.length t.data
+  let remaining t = Bytes.length t.data - t.pos
+
+  (* Range-checked variants: the hardened decode paths use these so a
+     malformed identifier is a typed [Invalid], not a silently accepted
+     value that some later array access turns into an exception. *)
+
+  let varint_below t ~what ~bound =
+    let v = varint t in
+    if v < 0 || v >= bound then fail (Out_of_range { what; value = v; bound });
+    v
+
+  let u32_below t ~what ~bound =
+    let v = u32 t in
+    if v < 0 || v >= bound then fail (Out_of_range { what; value = v; bound });
+    v
 end
+
+(* [decode data f] — run reader [f] over all of [data], turning every
+   failure mode into a typed [invalid]: truncation, unknown tags and
+   out-of-range fields (via [Reader.fail]) and trailing garbage after a
+   complete value.  The contract the fuzzers pin: never an exception. *)
+let decode data f =
+  let r = Reader.of_bytes data in
+  match f r with
+  | v -> if Reader.at_end r then Ok v else Error (Trailing (Reader.remaining r))
+  | exception Reader.Truncated -> Error Truncated
+  | exception Reader.Invalid inv -> Error inv
 
 let encoded_bits f =
   let w = Writer.create () in

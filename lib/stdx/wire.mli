@@ -36,11 +36,30 @@ module Writer : sig
   val length : t -> int
 end
 
+(** Typed decode failure.  Every decode path in the stack reports
+    malformed input as one of these — never an uncaught exception, never
+    silent acceptance of a mangled value. *)
+type invalid =
+  | Truncated  (** input ended mid-value (or a varint overflowed) *)
+  | Trailing of int  (** [k] unconsumed bytes after a complete value *)
+  | Bad_tag of int  (** unknown message tag *)
+  | Out_of_range of { what : string; value : int; bound : int }
+      (** a field failed its range check: [value] not in [\[0, bound)] *)
+
+val invalid_to_string : invalid -> string
+
 module Reader : sig
   type t
 
   exception Truncated
   (** Raised when reading past the end or on malformed input. *)
+
+  exception Invalid of invalid
+  (** Raised by {!fail} and the range-checked readers; {!decode} turns
+      both exceptions into a typed [Error]. *)
+
+  (** [fail inv] — abort the current decode with a typed reason. *)
+  val fail : invalid -> 'a
 
   val of_bytes : Bytes.t -> t
   val varint : t -> int
@@ -50,9 +69,26 @@ module Reader : sig
   val bytes : t -> Bytes.t
   val word_array : t -> int array
 
+  (** [varint_below r ~what ~bound] — a varint in [\[0, bound)], else
+      [Invalid (Out_of_range _)]. *)
+  val varint_below : t -> what:string -> bound:int -> int
+
+  (** [u32_below r ~what ~bound] — a u32 in [\[0, bound)], else
+      [Invalid (Out_of_range _)]. *)
+  val u32_below : t -> what:string -> bound:int -> int
+
   (** [at_end r] — all input consumed. *)
   val at_end : t -> bool
+
+  (** [remaining r] — unconsumed byte count. *)
+  val remaining : t -> int
 end
+
+(** [decode data f] — run [f] over [data], requiring full consumption.
+    Truncation, unknown tags, range violations and trailing bytes all
+    come back as [Error]; the function never raises on malformed
+    input. *)
+val decode : Bytes.t -> (Reader.t -> 'a) -> ('a, invalid) result
 
 (** [encoded_bits f] — 8 × the number of bytes [f] writes. *)
 val encoded_bits : (Writer.t -> unit) -> int

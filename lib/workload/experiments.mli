@@ -81,6 +81,13 @@ val t15_async : ?ns:int list -> ?seeds:int list -> unit -> row list
     to the fault-free cell, and the Rabin baseline under the same plan. *)
 val t16_faults : ?n:int -> ?seeds:int list -> unit -> row list
 
+(** T17: survival under the active-attack library (docs/ATTACKS.md) —
+    every {!Ks_attacks} strategy crossed with corruption fraction (past
+    1/3 on purpose) and with the provable-misbehaviour quarantine armed
+    and disarmed, with agreement rate, bits, rounds, quarantine
+    convictions, and the Rabin baseline under the same attack's votes. *)
+val t17_attacks : ?n:int -> ?seeds:int list -> unit -> row list
+
 (** The always-on accounting monitors every experiment runs under:
     corruption-budget, Õ(√n) bit budget and polylog round bound (the
     latter two scoped to the King–Saia phase networks — the O(n²)

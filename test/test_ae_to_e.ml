@@ -35,7 +35,7 @@ let test_msg_bits () =
       Alcotest.(check int) "bits = 8 * encoded bytes"
         (8 * Bytes.length (A2e.encode_msg m))
         (A2e.msg_bits m);
-      Alcotest.(check bool) "roundtrip" true (A2e.decode_msg (A2e.encode_msg m) = Some m))
+      Alcotest.(check bool) "roundtrip" true (A2e.decode_msg (A2e.encode_msg m) = Ok m))
     [ A2e.Request 0; A2e.Request 3000; A2e.Reply { label = 7; value = 123456789 } ]
 
 let test_rounds_needed () =

@@ -80,6 +80,67 @@ let test_ba_sim_exit_codes () =
   Alcotest.(check int) "malformed fault plan exits 124" 124 code;
   Alcotest.(check bool) "names the bad key" true (contains err "nonsense")
 
+(* The discovery flags are part of the scripting surface (CI's attack
+   matrix iterates over them), so the names they print are pinned. *)
+let test_ba_sim_list_attacks () =
+  let code, out, _ = run (ba_sim ^ " --list-attacks") in
+  Alcotest.(check int) "--list-attacks exits 0" 0 code;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("lists " ^ name) true (contains out name))
+    [
+      "equivocate"; "bad-share-inside"; "bad-share-outside"; "hunt-committee";
+      "coin-split"; "wire-junk";
+    ]
+
+let test_ba_sim_list_faults () =
+  let code, out, _ = run (ba_sim ^ " --list-faults") in
+  Alcotest.(check int) "--list-faults exits 0" 0 code;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("lists preset " ^ name) true (contains out name))
+    [ "lossy"; "choppy"; "churn"; "flaky" ];
+  Alcotest.(check bool) "shows the spec each preset expands to" true
+    (contains out "drop=0.02")
+
+let test_ba_sim_attack_flag () =
+  let code, out, _ =
+    run
+      (ba_sim
+      ^ " run --protocol everywhere -n 16 --attack wire-junk --corrupt 0.25 \
+         --seed 3")
+  in
+  Alcotest.(check int) "attacked run below threshold: degraded but agreed" 3 code;
+  Alcotest.(check bool) "labels the adversary" true
+    (contains out "adversary=attack:wire-junk");
+  Alcotest.(check bool) "reports quarantine convictions" true
+    (contains out "quarantined=31");
+  let code, _, err =
+    run (ba_sim ^ " run --protocol everywhere -n 16 --attack nope --seed 3")
+  in
+  Alcotest.(check int) "unknown attack exits 124" 124 code;
+  Alcotest.(check bool) "names the unknown attack" true (contains err "nope");
+  let code, _, _ =
+    run
+      (ba_sim
+      ^ " run --protocol everywhere -n 16 --attack wire-junk --corrupt 1.5 \
+         --seed 3")
+  in
+  Alcotest.(check int) "corruption fraction outside [0,1] exits 124" 124 code;
+  (* A preset name must behave exactly like its documented expansion. *)
+  let preset =
+    run (ba_sim ^ " run --protocol ae -n 32 --adversary honest --seed 7 --faults choppy")
+  in
+  let manual =
+    run
+      (ba_sim
+      ^ " run --protocol ae -n 32 --adversary honest --seed 7 --faults \
+         seed=22,drop=0.05,dup=0.02")
+  in
+  let pc, po, _ = preset and mc, mo, _ = manual in
+  Alcotest.(check int) "preset exit = manual-spec exit" mc pc;
+  Alcotest.(check string) "preset output = manual-spec output" mo po
+
 let test_bench_unknown_flag () =
   check_usage "bench unknown option" (run (bench ^ " --definitely-not-a-flag"))
     ~expect_code:2;
@@ -142,6 +203,9 @@ let () =
           Alcotest.test_case "unknown flag" `Quick test_ba_sim_unknown_flag;
           Alcotest.test_case "help" `Quick test_ba_sim_help;
           Alcotest.test_case "exit codes" `Quick test_ba_sim_exit_codes;
+          Alcotest.test_case "list attacks" `Quick test_ba_sim_list_attacks;
+          Alcotest.test_case "list faults" `Quick test_ba_sim_list_faults;
+          Alcotest.test_case "attack flag" `Quick test_ba_sim_attack_flag;
         ] );
       ( "bench",
         [ Alcotest.test_case "unknown flag" `Quick test_bench_unknown_flag ] );

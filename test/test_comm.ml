@@ -224,8 +224,8 @@ let test_codec_roundtrip () =
   List.iter
     (fun payload ->
       match Comm.decode_payload (Comm.encode_payload payload) with
-      | Some decoded -> Alcotest.(check bool) "roundtrip" true (decoded = payload)
-      | None -> Alcotest.fail "decode failed")
+      | Ok decoded -> Alcotest.(check bool) "roundtrip" true (decoded = payload)
+      | Error e -> Alcotest.fail (Ks_stdx.Wire.invalid_to_string e))
     sample_payloads
 
 let test_codec_length_exact () =
@@ -238,13 +238,14 @@ let test_codec_length_exact () =
 
 let test_codec_rejects_garbage () =
   Alcotest.(check bool) "bad tag" true
-    (Comm.decode_payload (Bytes.of_string "\xff\x01") = None);
+    (Comm.decode_payload (Bytes.of_string "\xff\x01") = Error (Ks_stdx.Wire.Bad_tag 0xff));
   Alcotest.(check bool) "trailing junk" true
     (Comm.decode_payload
        (Bytes.cat (Comm.encode_payload (Comm.Vote { level = 1; node = 0; ba = 0; vote = false }))
           (Bytes.of_string "x"))
-     = None);
-  Alcotest.(check bool) "empty" true (Comm.decode_payload Bytes.empty = None)
+     = Error (Ks_stdx.Wire.Trailing 1));
+  Alcotest.(check bool) "empty" true
+    (Comm.decode_payload Bytes.empty = Error Ks_stdx.Wire.Truncated)
 
 let () =
   Alcotest.run "comm"

@@ -98,6 +98,21 @@ let test_r5 () =
   check_rules "logical round counters pass" ~path:"lib/sim/fixture.ml"
     "let a rounds = rounds + 1\n" []
 
+(* --- lib/attacks is protocol code --------------------------------------- *)
+
+(* Attack strategies must replay from their seed like everything else in
+   the protocol tree: an attack drawing ambient randomness or wall clock
+   would make every survival row in T17 unreproducible. *)
+let test_attacks_in_scope () =
+  check_rules "R1 fires in lib/attacks" ~path:"lib/attacks/fixture.ml"
+    "let flip () = Random.bool ()\n" [ "R1" ];
+  check_rules "R2 fires in lib/attacks" ~path:"lib/attacks/fixture.ml"
+    "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl\n" [ "R2" ];
+  check_rules "R5 fires in lib/attacks" ~path:"lib/attacks/fixture.ml"
+    "let now () = Unix.gettimeofday ()\n" [ "R5" ];
+  check_rules "seeded per-processor stream passes" ~path:"lib/attacks/fixture.ml"
+    "let flip net p = Ks_stdx.Prng.bool (Ks_sim.Net.proc_rng net p)\n" []
+
 (* --- Suppressions ------------------------------------------------------- *)
 
 let test_suppressions () =
@@ -253,6 +268,7 @@ let () =
           Alcotest.test_case "R3 polymorphic comparison" `Quick test_r3;
           Alcotest.test_case "R4 unmetered channels" `Quick test_r4;
           Alcotest.test_case "R5 wall clock" `Quick test_r5;
+          Alcotest.test_case "lib/attacks in scope" `Quick test_attacks_in_scope;
         ] );
       ( "suppressions",
         [ Alcotest.test_case "allow comments" `Quick test_suppressions ] );
